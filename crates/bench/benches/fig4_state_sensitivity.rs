@@ -1,0 +1,42 @@
+//! Fig. 4: per-inter-kernel-state fault sensitivity (flight time + success
+//! rate when a single bit flip corrupts each of the 13 monitored states).
+//!
+//! Prints the paper-shaped table, then benchmarks one state-corrupted
+//! mission with Criterion.  Set `MAVFI_RUNS=100` for paper-scale counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::experiments::fig4::{self, Fig4Config};
+use mavfi::prelude::*;
+use mavfi_bench::{print_experiment, runs_per_target};
+
+fn run_experiment() {
+    let runs = runs_per_target(2);
+    let config = Fig4Config {
+        runs_per_state: runs,
+        golden_runs: runs,
+        mission_time_budget: 300.0,
+        ..Fig4Config::default()
+    };
+    let result = fig4::run(&config).expect("fig4 experiment");
+    print_experiment(
+        &format!("Fig. 4 — per-state fault sensitivity ({runs} runs/state, Sparse)"),
+        &result.to_table(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    run_experiment();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("single_waypoint_fault_mission", |b| {
+        b.iter(|| {
+            let spec = MissionSpec::new(EnvironmentKind::Sparse, 7).with_time_budget(200.0);
+            let fault = FaultSpec::new(InjectionTarget::State(StateField::WaypointX), 30, 11);
+            MissionRunner::new(spec).run(Some(fault), Protection::None, None).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

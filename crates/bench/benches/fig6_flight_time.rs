@@ -1,0 +1,46 @@
+//! Fig. 6: flight-time distributions (golden, fault injection, D&R Gaussian,
+//! D&R autoencoder) per environment, summarised as worst-case inflation and
+//! recovery percentages.
+//!
+//! Set `MAVFI_RUNS=100` for paper-scale counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::experiments::fig6;
+use mavfi::experiments::table1::Table1Config;
+use mavfi::prelude::*;
+use mavfi_bench::{print_experiment, runs_per_target};
+
+fn run_experiment() {
+    let runs = runs_per_target(1);
+    let config = Table1Config {
+        golden_runs: runs.max(1) * 2,
+        injections_per_stage: runs,
+        mission_time_budget: 300.0,
+        training: TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() },
+        ..Table1Config::default()
+    };
+    let (result, _detectors) = fig6::run(&config).expect("fig6 campaign");
+    print_experiment(
+        "Fig. 6 — flight time: worst-case inflation and recovery per environment",
+        &result.to_table(),
+    );
+    for (environment, recovery) in result.autoencoder_recoveries() {
+        println!("  {environment}: autoencoder recovers {:.1}% of the worst-case inflation", recovery * 100.0);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    run_experiment();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("golden_mission_sparse", |b| {
+        b.iter(|| {
+            MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 9).with_time_budget(200.0))
+                .run_golden()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

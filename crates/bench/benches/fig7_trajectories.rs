@@ -1,0 +1,48 @@
+//! Fig. 7: trajectory comparison in the Dense environment — golden flight,
+//! flight with a way-point corruption, and flight with the corruption plus
+//! autoencoder detection & recovery.  Emits the trajectories as CSV files
+//! under `target/mavfi-fig7/` for plotting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::experiments::fig7::{self, Fig7Config};
+use mavfi::prelude::*;
+use mavfi_bench::print_experiment;
+
+fn run_experiment() -> TrainedDetectors {
+    let training = TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() };
+    let (detectors, _) = train_detectors(&training);
+
+    for (stage, name) in [(Stage::Perception, "perception"), (Stage::Planning, "planning")] {
+        let config = Fig7Config { fault_stage: stage, mission_time_budget: 300.0, ..Fig7Config::default() };
+        let result = fig7::run(&config, &detectors).expect("fig7 flights");
+        print_experiment(
+            &format!("Fig. 7 — trajectories with a fault in the {} stage (Dense)", stage.label()),
+            &result.to_table(),
+        );
+        let dir = std::path::Path::new("target").join("mavfi-fig7");
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let _ = std::fs::write(dir.join(format!("{name}_golden.csv")), result.golden.to_csv());
+            let _ = std::fs::write(dir.join(format!("{name}_fault.csv")), result.faulty.to_csv());
+            let _ =
+                std::fs::write(dir.join(format!("{name}_recovered.csv")), result.recovered.to_csv());
+            println!("  trajectories written to {}", dir.display());
+        }
+    }
+    detectors
+}
+
+fn bench(c: &mut Criterion) {
+    let detectors = run_experiment();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("dense_mission_with_recovery", |b| {
+        b.iter(|| {
+            let config = Fig7Config { mission_time_budget: 200.0, ..Fig7Config::default() };
+            fig7::run(&config, &detectors).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

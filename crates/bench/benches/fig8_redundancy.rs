@@ -1,0 +1,35 @@
+//! Fig. 8: DMR/TMR hardware redundancy versus software anomaly detection on
+//! the AirSim UAV and the DJI Spark (Cortex-A57), via the visual
+//! performance model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::experiments::fig8::{self, Fig8Config};
+use mavfi_bench::print_experiment;
+use mavfi_platform::prelude::*;
+
+fn run_experiment() {
+    let result = fig8::run(&Fig8Config::default());
+    print_experiment("Fig. 8 — redundancy (DMR/TMR) vs anomaly detection", &result.to_table());
+    if let (Some(airsim), Some(spark)) =
+        (result.tmr_energy_ratio("AirSim UAV"), result.tmr_energy_ratio("DJI Spark"))
+    {
+        println!(
+            "TMR energy penalty vs anomaly D&R: {airsim:.2}x (AirSim UAV), {spark:.2}x (DJI Spark); paper reports 1.06x and 1.91x flight-time penalties."
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    run_experiment();
+    let mut group = c.benchmark_group("fig8");
+    group.bench_function("visual_performance_model_evaluation", |b| {
+        let model = VisualPerformanceModel::default();
+        let uav = UavSpec::dji_spark();
+        let platform = ComputePlatform::cortex_a57();
+        b.iter(|| model.evaluate(&uav, &platform, ProtectionScheme::Tmr))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

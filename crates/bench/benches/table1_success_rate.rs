@@ -1,0 +1,49 @@
+//! Table I: flight success rate across the four evaluation environments for
+//! golden runs, injection runs and both detection & recovery schemes.
+//!
+//! Prints the Table I success-rate table, then benchmarks one protected
+//! mission with Criterion.  Set `MAVFI_RUNS=100` for paper-scale counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::experiments::table1::{self, Table1Config};
+use mavfi::prelude::*;
+use mavfi_bench::{print_experiment, runs_per_target};
+
+fn run_experiment() -> TrainedDetectors {
+    let runs = runs_per_target(1);
+    let config = Table1Config {
+        golden_runs: runs.max(1) * 2,
+        injections_per_stage: runs,
+        mission_time_budget: 300.0,
+        training: TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() },
+        ..Table1Config::default()
+    };
+    let (result, detectors) = table1::run(&config).expect("table1 campaign");
+    print_experiment(
+        &format!(
+            "Table I — flight success rate (Factory/Farm/Sparse/Dense, {} injections/stage)",
+            config.injections_per_stage
+        ),
+        &result.to_table(),
+    );
+    detectors
+}
+
+fn bench(c: &mut Criterion) {
+    let detectors = run_experiment();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("protected_mission_autoencoder", |b| {
+        b.iter(|| {
+            let spec = MissionSpec::new(EnvironmentKind::Farm, 5).with_time_budget(150.0);
+            let fault = FaultSpec::new(InjectionTarget::Stage(Stage::Control), 30, 2);
+            MissionRunner::new(spec)
+                .run(Some(fault), Protection::Autoencoder, Some(&detectors))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

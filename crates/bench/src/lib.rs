@@ -1,0 +1,41 @@
+//! `mavfi-bench` hosts the Criterion benchmark harnesses that regenerate
+//! every table and figure of the MAVFI paper's evaluation.  The library
+//! itself only provides small helpers shared by the bench targets; run the
+//! experiments with `cargo bench -p mavfi-bench`.
+
+#![warn(missing_docs)]
+
+/// Reads the `MAVFI_RUNS` environment variable controlling how many runs
+/// per target the simulation-backed benches execute.
+///
+/// The paper-scale value is 100; the default keeps `cargo bench` runnable in
+/// minutes rather than days.
+pub fn runs_per_target(default: usize) -> usize {
+    std::env::var("MAVFI_RUNS").ok().and_then(|value| value.parse().ok()).unwrap_or(default)
+}
+
+/// Prints a banner followed by a pre-rendered table, so every bench target
+/// reports its paper-shaped rows in one recognisable block.
+pub fn print_experiment(title: &str, table: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+    println!("{table}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_per_target_falls_back_to_default() {
+        std::env::remove_var("MAVFI_RUNS");
+        assert_eq!(runs_per_target(7), 7);
+    }
+
+    #[test]
+    fn print_experiment_does_not_panic() {
+        print_experiment("title", "| a |\n");
+    }
+}

@@ -1,0 +1,270 @@
+//! Fault-injection campaigns: golden runs, injection runs and detection &
+//! recovery runs over an environment, mirroring the paper's evaluation
+//! protocol (§VI).
+
+use mavfi_fault::campaign::TriggerWindow;
+use mavfi_fault::injector::FaultSpec;
+use mavfi_fault::model::FaultModel;
+use mavfi_fault::target::InjectionTarget;
+use mavfi_ppc::states::Stage;
+use mavfi_sim::env::EnvironmentKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MissionSpec, Protection};
+use crate::error::MavfiError;
+use crate::qof::{QofMetrics, QofSummary};
+use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+
+/// Configuration of one environment's campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Environment under test.
+    pub environment: EnvironmentKind,
+    /// Number of error-free golden runs.
+    pub golden_runs: usize,
+    /// Number of fault injections per PPC stage (the paper uses 100,
+    /// giving 300 injection runs per environment).
+    pub injections_per_stage: usize,
+    /// Base seed; every run derives its own seed deterministically.
+    pub base_seed: u64,
+    /// Mission time budget per run (s).
+    pub mission_time_budget: f64,
+}
+
+impl CampaignConfig {
+    /// A campaign sized like the paper's (100 golden + 100 injections per
+    /// stage).
+    pub fn paper_scale(environment: EnvironmentKind, base_seed: u64) -> Self {
+        Self {
+            environment,
+            golden_runs: 100,
+            injections_per_stage: 100,
+            base_seed,
+            mission_time_budget: 400.0,
+        }
+    }
+
+    /// A reduced campaign suitable for tests and quick benches.
+    pub fn quick(environment: EnvironmentKind, base_seed: u64) -> Self {
+        Self {
+            environment,
+            golden_runs: 3,
+            injections_per_stage: 2,
+            base_seed,
+            mission_time_budget: 240.0,
+        }
+    }
+}
+
+/// Aggregate result of one experiment setting (golden / injection / D&R).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettingResult {
+    /// Setting label ("Golden Run", "Injection Run", ...).
+    pub label: String,
+    /// Per-run QoF metrics.
+    pub runs: Vec<QofMetrics>,
+    /// Aggregate summary.
+    pub summary: QofSummary,
+}
+
+impl SettingResult {
+    fn new(label: impl Into<String>, runs: Vec<QofMetrics>) -> Self {
+        let summary = QofSummary::from_runs(&runs);
+        Self { label: label.into(), runs, summary }
+    }
+}
+
+/// Full campaign result for one environment: the four rows of Table I and
+/// the four distributions of one Fig. 6 subplot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentCampaign {
+    /// Environment under test.
+    pub environment: EnvironmentKind,
+    /// Error-free baseline.
+    pub golden: SettingResult,
+    /// Faults injected, no protection.
+    pub injected: SettingResult,
+    /// Faults injected, Gaussian-based detection and recovery.
+    pub gaussian: SettingResult,
+    /// Faults injected, autoencoder-based detection and recovery.
+    pub autoencoder: SettingResult,
+    /// Total recomputations requested by the Gaussian scheme, per stage.
+    pub gaussian_recomputations: Vec<(Stage, u64)>,
+    /// Total recomputations requested by the autoencoder scheme, per stage.
+    pub autoencoder_recomputations: Vec<(Stage, u64)>,
+    /// Mean number of pipeline ticks per golden mission.
+    pub golden_mean_ticks: f64,
+    /// Mean nominal compute time per golden mission (ms, i9 latencies).
+    pub golden_mean_compute_ms: f64,
+}
+
+impl EnvironmentCampaign {
+    /// The four settings in Table I row order.
+    pub fn settings(&self) -> [&SettingResult; 4] {
+        [&self.golden, &self.injected, &self.gaussian, &self.autoencoder]
+    }
+}
+
+/// Runs campaigns using a shared set of trained detectors.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    detectors: TrainedDetectors,
+}
+
+impl CampaignRunner {
+    /// Creates a campaign runner around trained detectors.
+    pub fn new(detectors: TrainedDetectors) -> Self {
+        Self { detectors }
+    }
+
+    /// The trained detectors used for the D&R settings.
+    pub fn detectors(&self) -> &TrainedDetectors {
+        &self.detectors
+    }
+
+    /// Builds the per-stage fault specifications of a campaign.
+    pub fn plan_faults(config: &CampaignConfig) -> Vec<FaultSpec> {
+        let mut rng = StdRng::seed_from_u64(config.base_seed ^ 0x5eed_fa01);
+        let window = TriggerWindow::default();
+        let mut specs = Vec::with_capacity(config.injections_per_stage * Stage::ALL.len());
+        for stage in Stage::ALL {
+            for _ in 0..config.injections_per_stage {
+                specs.push(FaultSpec {
+                    target: InjectionTarget::Stage(stage),
+                    model: FaultModel::default(),
+                    trigger_tick: rng.gen_range(window.start..window.end),
+                    seed: rng.gen(),
+                });
+            }
+        }
+        specs
+    }
+
+    fn mission_spec(config: &CampaignConfig, run_index: u64) -> MissionSpec {
+        MissionSpec::new(config.environment, config.base_seed.wrapping_add(run_index * 31 + 1))
+            .with_time_budget(config.mission_time_budget)
+    }
+
+    /// Runs the golden, injection and both D&R settings for one
+    /// environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner errors (none are expected with trained detectors).
+    pub fn run_environment(&self, config: &CampaignConfig) -> Result<EnvironmentCampaign, MavfiError> {
+        // Golden runs.
+        let mut golden_runs = Vec::with_capacity(config.golden_runs);
+        let mut golden_ticks = 0u64;
+        let mut golden_compute_ms = 0.0;
+        for index in 0..config.golden_runs {
+            let spec = Self::mission_spec(config, index as u64);
+            let outcome = MissionRunner::new(spec).run_golden();
+            golden_ticks += outcome.pipeline.ticks;
+            golden_compute_ms += outcome.pipeline.total_compute_ms();
+            golden_runs.push(outcome.qof);
+        }
+        let golden_divisor = config.golden_runs.max(1) as f64;
+        let golden_mean_ticks = golden_ticks as f64 / golden_divisor;
+        let golden_mean_compute_ms = golden_compute_ms / golden_divisor;
+
+        // Faulty runs under each protection setting, using the same fault
+        // list for a paired comparison.
+        let faults = Self::plan_faults(config);
+        let mut injected_runs = Vec::with_capacity(faults.len());
+        let mut gaussian_runs = Vec::with_capacity(faults.len());
+        let mut autoencoder_runs = Vec::with_capacity(faults.len());
+        let mut gaussian_recomputations: Vec<(Stage, u64)> =
+            Stage::ALL.iter().map(|stage| (*stage, 0)).collect();
+        let mut autoencoder_recomputations: Vec<(Stage, u64)> =
+            Stage::ALL.iter().map(|stage| (*stage, 0)).collect();
+
+        for (index, fault) in faults.iter().enumerate() {
+            let spec = Self::mission_spec(config, index as u64);
+            let runner = MissionRunner::new(spec);
+
+            injected_runs.push(runner.run(Some(*fault), Protection::None, None)?.qof);
+
+            let gaussian =
+                runner.run(Some(*fault), Protection::Gaussian, Some(&self.detectors))?;
+            Self::accumulate_recomputations(&gaussian, &mut gaussian_recomputations);
+            gaussian_runs.push(gaussian.qof);
+
+            let autoencoder =
+                runner.run(Some(*fault), Protection::Autoencoder, Some(&self.detectors))?;
+            Self::accumulate_recomputations(&autoencoder, &mut autoencoder_recomputations);
+            autoencoder_runs.push(autoencoder.qof);
+        }
+
+        Ok(EnvironmentCampaign {
+            environment: config.environment,
+            golden: SettingResult::new("Golden Run", golden_runs),
+            injected: SettingResult::new("Injection Run", injected_runs),
+            gaussian: SettingResult::new("Gaussian-based", gaussian_runs),
+            autoencoder: SettingResult::new("Autoencoder-based", autoencoder_runs),
+            gaussian_recomputations,
+            autoencoder_recomputations,
+            golden_mean_ticks,
+            golden_mean_compute_ms,
+        })
+    }
+
+    fn accumulate_recomputations(outcome: &MissionOutcome, totals: &mut [(Stage, u64)]) {
+        if let Some(stats) = &outcome.detector {
+            for (stage, total) in totals.iter_mut() {
+                *total += stats.recomputations.get(stage).copied().unwrap_or(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainingSpec;
+    use crate::training::train_detectors;
+
+    fn quick_detectors() -> TrainedDetectors {
+        let spec = TrainingSpec {
+            missions: 1,
+            base_seed: 77,
+            mission_time_budget: 25.0,
+            epochs: 5,
+        };
+        train_detectors(&spec).0
+    }
+
+    #[test]
+    fn fault_plan_covers_every_stage_equally() {
+        let config = CampaignConfig::quick(EnvironmentKind::Sparse, 1);
+        let faults = CampaignRunner::plan_faults(&config);
+        assert_eq!(faults.len(), 3 * config.injections_per_stage);
+        for stage in Stage::ALL {
+            let count = faults.iter().filter(|f| f.target.stage() == stage).count();
+            assert_eq!(count, config.injections_per_stage);
+        }
+    }
+
+    #[test]
+    fn quick_campaign_produces_all_four_settings() {
+        let detectors = quick_detectors();
+        let runner = CampaignRunner::new(detectors);
+        let config = CampaignConfig {
+            environment: EnvironmentKind::Farm,
+            golden_runs: 1,
+            injections_per_stage: 1,
+            base_seed: 5,
+            mission_time_budget: 120.0,
+        };
+        let campaign = runner.run_environment(&config).unwrap();
+        assert_eq!(campaign.golden.runs.len(), 1);
+        assert_eq!(campaign.injected.runs.len(), 3);
+        assert_eq!(campaign.gaussian.runs.len(), 3);
+        assert_eq!(campaign.autoencoder.runs.len(), 3);
+        assert!(campaign.golden.summary.success_rate > 0.0, "farm golden run should succeed");
+        for setting in campaign.settings() {
+            assert_eq!(setting.summary.runs, setting.runs.len());
+        }
+    }
+}

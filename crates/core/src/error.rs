@@ -1,0 +1,80 @@
+//! Error type of the top-level MAVFI framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the MAVFI mission runner, campaigns and experiments.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MavfiError {
+    /// A configuration value is invalid or inconsistent.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// A protection scheme requiring trained detectors was requested but no
+    /// trained detectors were supplied.
+    MissingDetectors {
+        /// Which scheme was requested.
+        scheme: String,
+    },
+    /// Persisting or loading an artefact (report, trained model) failed.
+    Io(std::io::Error),
+    /// Serialising a report failed.
+    Serialization(serde_json::Error),
+}
+
+impl fmt::Display for MavfiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::MissingDetectors { scheme } => {
+                write!(f, "protection scheme `{scheme}` requires trained detectors")
+            }
+            Self::Io(err) => write!(f, "i/o failure: {err}"),
+            Self::Serialization(err) => write!(f, "report serialization failed: {err}"),
+        }
+    }
+}
+
+impl Error for MavfiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Serialization(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MavfiError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<serde_json::Error> for MavfiError {
+    fn from(err: serde_json::Error) -> Self {
+        Self::Serialization(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = MavfiError::InvalidConfig { reason: "zero runs".into() };
+        assert!(err.to_string().contains("zero runs"));
+        let err = MavfiError::MissingDetectors { scheme: "Gaussian".into() };
+        assert!(err.to_string().contains("Gaussian"));
+    }
+
+    #[test]
+    fn conversions_from_underlying_errors() {
+        let io: MavfiError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, MavfiError::Io(_)));
+        assert!(io.source().is_some());
+    }
+}

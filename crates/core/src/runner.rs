@@ -1,0 +1,281 @@
+//! The mission runner: one closed-loop flight of the PPC pipeline in the
+//! simulated world, optionally with a fault injected and a detection and
+//! recovery scheme supervising the inter-kernel states.
+
+use mavfi_detect::detector_node::{DetectionScheme, DetectorStats, DetectorTap};
+use mavfi_detect::training::TelemetrySet;
+use mavfi_detect::{AadDetector, GadBank};
+use mavfi_fault::injector::{FaultInjector, FaultRecord, FaultSpec};
+use mavfi_ppc::perception::occupancy::OccupancyGrid;
+use mavfi_ppc::pipeline::{PipelineStats, PpcConfig, PpcPipeline};
+use mavfi_ppc::states::{CollisionEstimate, PointCloud, Trajectory};
+use mavfi_ppc::tap::{StageTap, TapAction};
+use mavfi_sim::energy::PowerModel;
+use mavfi_sim::geometry::Vec3;
+use mavfi_sim::sensors::DepthCamera;
+use mavfi_sim::vehicle::FlightCommand;
+use mavfi_sim::world::{MissionStatus, World};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{MissionSpec, Protection};
+use crate::error::MavfiError;
+use crate::qof::QofMetrics;
+
+/// Detectors trained on error-free telemetry, shared across campaign runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedDetectors {
+    /// The Gaussian detector bank (primed baselines).
+    pub gad: GadBank,
+    /// The trained autoencoder detector.
+    pub aad: AadDetector,
+}
+
+/// Everything produced by one mission run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionOutcome {
+    /// Quality-of-flight metrics.
+    pub qof: QofMetrics,
+    /// Sampled flight trajectory.
+    pub trail: Vec<Vec3>,
+    /// Record of the injected fault, if one fired.
+    pub fault: Option<FaultRecord>,
+    /// Detector activity, when a protection scheme was active.
+    pub detector: Option<DetectorStats>,
+    /// Pipeline kernel/recomputation statistics.
+    pub pipeline: PipelineStats,
+}
+
+impl MissionOutcome {
+    /// Returns `true` when the mission reached its goal.
+    pub fn is_success(&self) -> bool {
+        self.qof.is_success()
+    }
+}
+
+/// Composite tap: fault injector first (corrupting states in flight), then
+/// the detector (observing exactly what the downstream kernels would see).
+struct MissionTap {
+    injector: Option<FaultInjector>,
+    detector: Option<DetectorTap>,
+}
+
+impl StageTap for MissionTap {
+    fn after_point_cloud(&mut self, cloud: &mut PointCloud) {
+        if let Some(injector) = &mut self.injector {
+            injector.after_point_cloud(cloud);
+        }
+        if let Some(detector) = &mut self.detector {
+            detector.after_point_cloud(cloud);
+        }
+    }
+
+    fn after_occupancy(&mut self, grid: &mut OccupancyGrid) {
+        if let Some(injector) = &mut self.injector {
+            injector.after_occupancy(grid);
+        }
+        if let Some(detector) = &mut self.detector {
+            detector.after_occupancy(grid);
+        }
+    }
+
+    fn after_perception(&mut self, estimate: &mut CollisionEstimate) -> TapAction {
+        let mut action = TapAction::Continue;
+        if let Some(injector) = &mut self.injector {
+            action = action.merge(injector.after_perception(estimate));
+        }
+        if let Some(detector) = &mut self.detector {
+            action = action.merge(detector.after_perception(estimate));
+        }
+        action
+    }
+
+    fn after_planning(&mut self, trajectory: &mut Trajectory, active_index: usize) -> TapAction {
+        let mut action = TapAction::Continue;
+        if let Some(injector) = &mut self.injector {
+            action = action.merge(injector.after_planning(trajectory, active_index));
+        }
+        if let Some(detector) = &mut self.detector {
+            action = action.merge(detector.after_planning(trajectory, active_index));
+        }
+        action
+    }
+
+    fn after_control(&mut self, command: &mut FlightCommand) -> TapAction {
+        let mut action = TapAction::Continue;
+        if let Some(injector) = &mut self.injector {
+            action = action.merge(injector.after_control(command));
+        }
+        if let Some(detector) = &mut self.detector {
+            action = action.merge(detector.after_control(command));
+        }
+        action
+    }
+}
+
+/// Runs missions described by a [`MissionSpec`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use mavfi::prelude::*;
+///
+/// let spec = MissionSpec::new(EnvironmentKind::Sparse, 42);
+/// let outcome = MissionRunner::new(spec).run_golden();
+/// println!("flight time: {:.1} s", outcome.qof.flight_time_s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissionRunner {
+    spec: MissionSpec,
+}
+
+impl MissionRunner {
+    /// Creates a runner for one mission specification.
+    pub fn new(spec: MissionSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The mission specification.
+    pub fn spec(&self) -> MissionSpec {
+        self.spec
+    }
+
+    /// Runs an error-free mission with no protection (a "golden run").
+    pub fn run_golden(&self) -> MissionOutcome {
+        self.run_internal(None, None, None)
+    }
+
+    /// Runs an error-free mission while recording preprocessed telemetry
+    /// into `telemetry` (used to train the detectors).
+    pub fn run_collecting_telemetry(&self, telemetry: &mut TelemetrySet) -> MissionOutcome {
+        let outcome = self.run_internal(None, None, Some(telemetry));
+        telemetry.end_mission();
+        outcome
+    }
+
+    /// Runs a mission with an optional fault and protection scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavfiError::MissingDetectors`] if a protection scheme other
+    /// than [`Protection::None`] is requested without trained detectors.
+    pub fn run(
+        &self,
+        fault: Option<FaultSpec>,
+        protection: Protection,
+        detectors: Option<&TrainedDetectors>,
+    ) -> Result<MissionOutcome, MavfiError> {
+        let detector_tap = match protection {
+            Protection::None => None,
+            Protection::Gaussian => {
+                let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
+                    scheme: protection.label().to_owned(),
+                })?;
+                Some(DetectorTap::new(DetectionScheme::Gaussian(detectors.gad.clone())))
+            }
+            Protection::Autoencoder => {
+                let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
+                    scheme: protection.label().to_owned(),
+                })?;
+                Some(DetectorTap::new(DetectionScheme::Autoencoder(detectors.aad.clone())))
+            }
+        };
+        Ok(self.run_internal(fault.map(FaultInjector::new), detector_tap, None))
+    }
+
+    fn run_internal(
+        &self,
+        injector: Option<FaultInjector>,
+        detector: Option<DetectorTap>,
+        mut telemetry: Option<&mut TelemetrySet>,
+    ) -> MissionOutcome {
+        let spec = self.spec;
+        let environment = spec.environment.build(spec.seed);
+        let ppc_config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
+        let mut pipeline = PpcPipeline::new(ppc_config, environment.start(), environment.goal());
+        let camera = DepthCamera::default();
+        let mut world =
+            World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+        let mut tap = MissionTap { injector, detector };
+
+        let dt = spec.control_period;
+        while world.status() == MissionStatus::InProgress {
+            let frame = camera.capture(world.environment(), &world.vehicle().pose());
+            let tick = pipeline.tick(&frame, &world.vehicle().state(), dt, &mut tap);
+            if let Some(telemetry) = telemetry.as_deref_mut() {
+                telemetry.record(&tick.monitored);
+            }
+            world.step(&tick.command, dt);
+        }
+
+        MissionOutcome {
+            qof: QofMetrics {
+                status: world.status(),
+                flight_time_s: world.elapsed(),
+                energy_j: world.energy_joules(),
+                distance_m: world.distance_travelled(),
+            },
+            trail: world.trail().to_vec(),
+            fault: tap.injector.as_ref().and_then(|injector| injector.record().cloned()),
+            detector: tap.detector.as_ref().map(|detector| detector.stats().clone()),
+            pipeline: pipeline.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mavfi_fault::target::InjectionTarget;
+    use mavfi_ppc::states::Stage;
+    use mavfi_sim::env::EnvironmentKind;
+
+    fn quick_spec(kind: EnvironmentKind, seed: u64) -> MissionSpec {
+        MissionSpec::new(kind, seed).with_time_budget(200.0)
+    }
+
+    #[test]
+    fn golden_run_in_sparse_environment_succeeds() {
+        let outcome = MissionRunner::new(quick_spec(EnvironmentKind::Sparse, 3)).run_golden();
+        assert!(outcome.is_success(), "golden run should succeed: {:?}", outcome.qof.status);
+        assert!(outcome.qof.flight_time_s > 5.0);
+        assert!(outcome.qof.energy_j > 0.0);
+        assert!(outcome.trail.len() > 3);
+        assert!(outcome.fault.is_none());
+        assert!(outcome.detector.is_none());
+        assert!(outcome.pipeline.ticks > 10);
+    }
+
+    #[test]
+    fn golden_runs_are_deterministic() {
+        let spec = quick_spec(EnvironmentKind::Sparse, 8);
+        let a = MissionRunner::new(spec).run_golden();
+        let b = MissionRunner::new(spec).run_golden();
+        assert_eq!(a.qof, b.qof);
+        assert_eq!(a.trail, b.trail);
+    }
+
+    #[test]
+    fn fault_injection_fires_and_is_recorded() {
+        let spec = quick_spec(EnvironmentKind::Sparse, 5);
+        let fault = FaultSpec::new(InjectionTarget::Stage(Stage::Planning), 20, 123);
+        let outcome = MissionRunner::new(spec).run(Some(fault), Protection::None, None).unwrap();
+        let record = outcome.fault.expect("fault should have fired");
+        assert_eq!(record.field.unwrap().stage(), Stage::Planning);
+    }
+
+    #[test]
+    fn protection_without_detectors_is_an_error() {
+        let spec = quick_spec(EnvironmentKind::Farm, 1);
+        let err = MissionRunner::new(spec).run(None, Protection::Gaussian, None).unwrap_err();
+        assert!(matches!(err, MavfiError::MissingDetectors { .. }));
+    }
+
+    #[test]
+    fn telemetry_collection_accumulates_samples() {
+        let mut telemetry = TelemetrySet::new();
+        let spec = MissionSpec::new(EnvironmentKind::Farm, 2).with_time_budget(30.0);
+        let outcome = MissionRunner::new(spec).run_collecting_telemetry(&mut telemetry);
+        assert!(telemetry.len() as u64 >= outcome.pipeline.ticks);
+        assert!(!telemetry.is_empty());
+    }
+}

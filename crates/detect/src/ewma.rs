@@ -1,0 +1,305 @@
+//! Exponentially-weighted-moving-average (EWMA) anomaly detection, an
+//! ablation baseline for the paper's Gaussian scheme.
+//!
+//! Where GAD models each state's delta with a *cumulative* mean and standard
+//! deviation (Welford / Knuth recurrences), an EWMA detector keeps an
+//! exponentially decaying estimate of both, so the baseline tracks slow
+//! drifts of the flight regime at the cost of being easier for a slowly
+//! growing corruption to hide inside.  Comparing the two quantifies how much
+//! of GAD's performance comes from its long memory.
+
+use mavfi_ppc::states::{MonitoredStates, Stage, StateField};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one per-state EWMA detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaConfig {
+    /// Smoothing factor in `(0, 1]`; larger forgets faster.
+    pub alpha: f64,
+    /// Alarm threshold in multiples of the EWMA standard deviation.
+    pub n_sigma: f64,
+    /// Samples absorbed before alarms may fire.
+    pub warmup_samples: u64,
+    /// Absolute deviation below which a value never alarms, mirroring
+    /// [`CgadConfig::min_deviation`](crate::gad::CgadConfig::min_deviation).
+    pub min_deviation: f64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        Self { alpha: 0.05, n_sigma: 6.0, warmup_samples: 20, min_deviation: 48.0 }
+    }
+}
+
+/// EWMA estimator and range detector for a single monitored state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaDetector {
+    field: StateField,
+    config: EwmaConfig,
+    mean: f64,
+    variance: f64,
+    samples: u64,
+    alarms: u64,
+}
+
+impl EwmaDetector {
+    /// Creates a detector for `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.alpha` is not in `(0, 1]`.
+    pub fn new(field: StateField, config: EwmaConfig) -> Self {
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {}",
+            config.alpha
+        );
+        Self { field, config, mean: 0.0, variance: 0.0, samples: 0, alarms: 0 }
+    }
+
+    /// The monitored field.
+    pub fn field(&self) -> StateField {
+        self.field
+    }
+
+    /// Number of samples absorbed into the baseline.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of alarms raised.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Current EWMA mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current EWMA standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Anomaly score of `delta`: deviation from the EWMA mean in EWMA
+    /// standard deviations (0 while the baseline is degenerate).
+    pub fn score(&self, delta: f64) -> f64 {
+        let std = self.std_dev();
+        if std <= f64::EPSILON {
+            0.0
+        } else {
+            (delta - self.mean).abs() / std
+        }
+    }
+
+    /// Pre-loads the baseline with an error-free sample without alarm
+    /// checking.
+    pub fn prime(&mut self, delta: f64) {
+        self.absorb(delta);
+    }
+
+    fn absorb(&mut self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        if self.samples == 0 {
+            self.mean = delta;
+            self.variance = 0.0;
+        } else {
+            let alpha = self.config.alpha;
+            let diff = delta - self.mean;
+            self.mean += alpha * diff;
+            self.variance = (1.0 - alpha) * (self.variance + alpha * diff * diff);
+        }
+        self.samples += 1;
+    }
+
+    /// Observes one preprocessed delta; returns `true` on alarm.  Alarming
+    /// samples are not absorbed into the baseline.
+    pub fn observe(&mut self, delta: f64) -> bool {
+        let warmed = self.samples >= self.config.warmup_samples;
+        let deviation = (delta - self.mean).abs();
+        let is_outlier = warmed
+            && deviation > self.config.min_deviation
+            && (self.std_dev() <= f64::EPSILON || self.score(delta) > self.config.n_sigma);
+        if is_outlier {
+            self.alarms += 1;
+        } else {
+            self.absorb(delta);
+        }
+        is_outlier
+    }
+}
+
+/// A bank of per-state EWMA detectors, mirroring [`GadBank`](crate::gad::GadBank).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EwmaBank {
+    detectors: Vec<EwmaDetector>,
+}
+
+impl Default for EwmaBank {
+    fn default() -> Self {
+        Self::new(EwmaConfig::default())
+    }
+}
+
+impl EwmaBank {
+    /// Creates a bank with one detector per monitored state.
+    pub fn new(config: EwmaConfig) -> Self {
+        let detectors =
+            StateField::ALL.into_iter().map(|field| EwmaDetector::new(field, config)).collect();
+        Self { detectors }
+    }
+
+    /// Immutable access to the per-field detectors.
+    pub fn detectors(&self) -> &[EwmaDetector] {
+        &self.detectors
+    }
+
+    /// Observes the delta of a single field, returning `true` on alarm.
+    pub fn observe_field(&mut self, field: StateField, delta: f64) -> bool {
+        self.detectors[field.index()].observe(delta)
+    }
+
+    /// Observes a full preprocessed delta vector, returning the stages that
+    /// raised at least one alarm.
+    pub fn observe_all(&mut self, deltas: &[f64; MonitoredStates::DIM]) -> Vec<Stage> {
+        let mut stages = Vec::new();
+        for field in StateField::ALL {
+            if self.observe_field(field, deltas[field.index()]) && !stages.contains(&field.stage())
+            {
+                stages.push(field.stage());
+            }
+        }
+        stages
+    }
+
+    /// Maximum per-field anomaly score of a delta vector, usable as a scalar
+    /// score for ROC analysis.
+    pub fn score(&self, deltas: &[f64; MonitoredStates::DIM]) -> f64 {
+        StateField::ALL
+            .into_iter()
+            .map(|field| self.detectors[field.index()].score(deltas[field.index()]))
+            .fold(0.0, f64::max)
+    }
+
+    /// Seeds every detector's baseline from error-free telemetry.
+    pub fn prime(&mut self, samples: &[[f64; MonitoredStates::DIM]]) {
+        for sample in samples {
+            for field in StateField::ALL {
+                self.detectors[field.index()].prime(sample[field.index()]);
+            }
+        }
+    }
+
+    /// Total alarms raised per stage.
+    pub fn alarms_for_stage(&self, stage: Stage) -> u64 {
+        self.detectors
+            .iter()
+            .filter(|d| d.field().stage() == stage)
+            .map(EwmaDetector::alarms)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_delta(rng: &mut StdRng) -> f64 {
+        (0..4).map(|_| rng.gen_range(-2.0..2.0)).sum()
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_is_rejected() {
+        let _ = EwmaDetector::new(
+            StateField::CommandVx,
+            EwmaConfig { alpha: 0.0, ..EwmaConfig::default() },
+        );
+    }
+
+    #[test]
+    fn no_alarms_during_warmup() {
+        let mut detector = EwmaDetector::new(StateField::CommandVx, EwmaConfig::default());
+        for _ in 0..10 {
+            assert!(!detector.observe(10_000.0));
+        }
+    }
+
+    #[test]
+    fn detects_large_outliers_after_normal_training() {
+        let mut detector = EwmaDetector::new(StateField::WaypointX, EwmaConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            assert!(!detector.observe(normal_delta(&mut rng)));
+        }
+        assert!(detector.observe(5_000.0));
+        assert_eq!(detector.alarms(), 1);
+        // The outlier was not absorbed.
+        assert!(!detector.observe(normal_delta(&mut rng)));
+    }
+
+    #[test]
+    fn baseline_tracks_regime_changes() {
+        // A permanent shift of the delta regime should eventually stop
+        // alarming because the EWMA forgets the old regime.
+        let config = EwmaConfig { alpha: 0.2, min_deviation: 1.0, ..EwmaConfig::default() };
+        let mut detector = EwmaDetector::new(StateField::CommandVy, config);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            detector.observe(normal_delta(&mut rng));
+        }
+        let before = detector.mean();
+        // New regime: deltas around +10, close enough to the old baseline
+        // that individual samples stay inside the `n_sigma` envelope and are
+        // absorbed, letting the EWMA track the drift.
+        let mut alarms_late = 0;
+        for step in 0..400 {
+            let value = 10.0 + normal_delta(&mut rng);
+            let alarmed = detector.observe(value);
+            if step > 300 && alarmed {
+                alarms_late += 1;
+            }
+        }
+        assert!(detector.mean() > before + 5.0, "EWMA mean should have drifted up");
+        assert_eq!(alarms_late, 0, "after adaptation the new regime should look normal");
+    }
+
+    #[test]
+    fn bank_reports_alarming_stages_and_scores() {
+        let mut bank = EwmaBank::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut normal = [0.0; 13];
+        for _ in 0..200 {
+            for slot in normal.iter_mut() {
+                *slot = normal_delta(&mut rng);
+            }
+            assert!(bank.observe_all(&normal).is_empty());
+        }
+        let clean_score = bank.score(&normal);
+        let mut corrupted = normal;
+        corrupted[StateField::CommandVz.index()] = -7_000.0;
+        assert!(bank.score(&corrupted) > clean_score);
+        let stages = bank.observe_all(&corrupted);
+        assert_eq!(stages, vec![Stage::Control]);
+        assert_eq!(bank.alarms_for_stage(Stage::Control), 1);
+        assert_eq!(bank.alarms_for_stage(Stage::Planning), 0);
+    }
+
+    #[test]
+    fn priming_enables_immediate_detection() {
+        let mut bank = EwmaBank::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<[f64; 13]> =
+            (0..60).map(|_| std::array::from_fn(|_| normal_delta(&mut rng))).collect();
+        bank.prime(&samples);
+        assert!(bank.detectors()[0].samples() >= 60);
+        let mut corrupted = [0.0; 13];
+        corrupted[StateField::WaypointYaw.index()] = 9_000.0;
+        assert_eq!(bank.observe_all(&corrupted), vec![Stage::Planning]);
+    }
+}

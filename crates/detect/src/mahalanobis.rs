@@ -1,0 +1,297 @@
+//! Multivariate-Gaussian (Mahalanobis-distance) anomaly detection, an
+//! ablation baseline sitting between GAD and AAD.
+//!
+//! The paper attributes AAD's edge over GAD to exploiting *correlation*
+//! among the 13 monitored inter-kernel states.  A multivariate Gaussian with
+//! a full covariance matrix is the classical, non-neural way to capture the
+//! same correlations; comparing it against both schemes separates "the
+//! autoencoder wins because it models correlation" from "the autoencoder
+//! wins because it is non-linear".
+
+use mavfi_ppc::states::MonitoredStates;
+use serde::{Deserialize, Serialize};
+
+const DIM: usize = MonitoredStates::DIM;
+
+/// Configuration of the Mahalanobis-distance detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MahalanobisConfig {
+    /// Alarm threshold as a multiplier on the largest Mahalanobis distance
+    /// observed in the training telemetry (analogous to the AAD threshold
+    /// margin on the reconstruction error).
+    pub threshold_margin: f64,
+    /// Ridge added to the covariance diagonal before inversion, keeping the
+    /// matrix well conditioned when some states barely move during training.
+    pub regularization: f64,
+}
+
+impl Default for MahalanobisConfig {
+    fn default() -> Self {
+        Self { threshold_margin: 1.5, regularization: 1.0 }
+    }
+}
+
+/// A multivariate-Gaussian detector over the 13-dimensional preprocessed
+/// delta vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MahalanobisDetector {
+    mean: [f64; DIM],
+    precision: Vec<Vec<f64>>,
+    threshold: f64,
+    config: MahalanobisConfig,
+    alarms: u64,
+    observations: u64,
+}
+
+impl MahalanobisDetector {
+    /// Fits the detector to error-free preprocessed telemetry: estimates the
+    /// mean vector and covariance matrix, inverts the (regularised)
+    /// covariance, and sets the alarm threshold from the training maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` contains fewer than two vectors.
+    pub fn fit(samples: &[[f64; DIM]], config: MahalanobisConfig) -> Self {
+        assert!(samples.len() >= 2, "Mahalanobis fitting requires at least two samples");
+
+        let count = samples.len() as f64;
+        let mut mean = [0.0; DIM];
+        for sample in samples {
+            for (slot, value) in mean.iter_mut().zip(sample) {
+                *slot += value / count;
+            }
+        }
+
+        let mut covariance = vec![vec![0.0; DIM]; DIM];
+        for sample in samples {
+            for row in 0..DIM {
+                let dr = sample[row] - mean[row];
+                for (col, cov) in covariance[row].iter_mut().enumerate() {
+                    *cov += dr * (sample[col] - mean[col]) / (count - 1.0);
+                }
+            }
+        }
+        for (row, cov_row) in covariance.iter_mut().enumerate() {
+            cov_row[row] += config.regularization;
+        }
+
+        let precision = invert(&covariance)
+            .expect("regularised covariance matrix is symmetric positive definite");
+
+        let mut detector = Self {
+            mean,
+            precision,
+            threshold: f64::INFINITY,
+            config,
+            alarms: 0,
+            observations: 0,
+        };
+        let max_training_distance = samples
+            .iter()
+            .map(|sample| detector.distance(sample))
+            .fold(0.0_f64, f64::max);
+        detector.threshold = (max_training_distance * config.threshold_margin).max(1e-9);
+        detector
+    }
+
+    /// The fitted mean vector.
+    pub fn mean(&self) -> &[f64; DIM] {
+        &self.mean
+    }
+
+    /// The alarm threshold on the Mahalanobis distance.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Number of vectors observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Mahalanobis distance of one preprocessed delta vector from the fitted
+    /// distribution (the anomaly score).
+    pub fn distance(&self, deltas: &[f64; DIM]) -> f64 {
+        let mut centered = [0.0; DIM];
+        for ((slot, value), mean) in centered.iter_mut().zip(deltas).zip(&self.mean) {
+            *slot = if value.is_finite() { value - mean } else { 0.0 };
+        }
+        let mut quadratic = 0.0;
+        for (row, precision_row) in self.precision.iter().enumerate() {
+            let mut dot = 0.0;
+            for (col, precision_value) in precision_row.iter().enumerate() {
+                dot += precision_value * centered[col];
+            }
+            quadratic += centered[row] * dot;
+        }
+        quadratic.max(0.0).sqrt()
+    }
+
+    /// Observes one vector; returns `true` when the distance exceeds the
+    /// threshold.
+    pub fn observe(&mut self, deltas: &[f64; DIM]) -> bool {
+        self.observations += 1;
+        let alarm = self.distance(deltas) > self.threshold;
+        if alarm {
+            self.alarms += 1;
+        }
+        alarm
+    }
+}
+
+/// Inverts a small symmetric positive-definite matrix by Gauss-Jordan
+/// elimination with partial pivoting.  Returns `None` when a pivot collapses
+/// to zero (singular input).
+fn invert(matrix: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = matrix.len();
+    let mut augmented: Vec<Vec<f64>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(row, values)| {
+            let mut extended = values.clone();
+            extended.extend((0..n).map(|col| if col == row { 1.0 } else { 0.0 }));
+            extended
+        })
+        .collect();
+
+    for pivot in 0..n {
+        let best_row = (pivot..n)
+            .max_by(|&a, &b| {
+                augmented[a][pivot]
+                    .abs()
+                    .partial_cmp(&augmented[b][pivot].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty pivot range");
+        if augmented[best_row][pivot].abs() < 1e-12 {
+            return None;
+        }
+        augmented.swap(pivot, best_row);
+
+        let pivot_value = augmented[pivot][pivot];
+        for value in augmented[pivot].iter_mut() {
+            *value /= pivot_value;
+        }
+        for row in 0..n {
+            if row == pivot {
+                continue;
+            }
+            let factor = augmented[row][pivot];
+            if factor == 0.0 {
+                continue;
+            }
+            for col in 0..2 * n {
+                augmented[row][col] -= factor * augmented[pivot][col];
+            }
+        }
+    }
+
+    Some(augmented.into_iter().map(|row| row[n..].to_vec()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mavfi_ppc::states::StateField;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Strongly correlated telemetry: the first seven deltas move together,
+    /// the rest move opposite, as a smoothly manoeuvring vehicle would.
+    fn correlated_samples(count: usize, seed: u64) -> Vec<[f64; 13]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let a: f64 = rng.gen_range(-8.0..8.0);
+                std::array::from_fn(|i| if i < 7 { a } else { -a } + rng.gen_range(-0.5..0.5))
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn fitting_one_sample_panics() {
+        let _ = MahalanobisDetector::fit(&[[0.0; 13]], MahalanobisConfig::default());
+    }
+
+    #[test]
+    fn clean_data_passes_and_gross_corruption_alarms() {
+        let samples = correlated_samples(600, 1);
+        let mut detector = MahalanobisDetector::fit(&samples, MahalanobisConfig::default());
+        let held_out = correlated_samples(100, 7);
+        let mut false_alarms = 0;
+        for sample in &held_out {
+            if detector.observe(sample) {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 5, "too many false alarms: {false_alarms}");
+
+        let mut corrupted = held_out[0];
+        corrupted[StateField::WaypointZ.index()] = 12_000.0;
+        assert!(detector.observe(&corrupted));
+        assert!(detector.alarms() >= 1);
+        assert_eq!(detector.observations(), 101);
+    }
+
+    #[test]
+    fn correlation_violations_are_detected_even_within_per_field_range() {
+        // The same scenario the AAD test uses: individual values in range,
+        // correlation broken.  A full-covariance Gaussian must catch it too.
+        let samples = correlated_samples(600, 2);
+        let mut detector = MahalanobisDetector::fit(&samples, MahalanobisConfig::default());
+        let broken: [f64; 13] = [8.0; 13];
+        assert!(detector.observe(&broken), "correlation break must raise the distance");
+    }
+
+    #[test]
+    fn distance_is_zero_at_the_mean_and_grows_outward() {
+        let samples = correlated_samples(300, 3);
+        let detector = MahalanobisDetector::fit(&samples, MahalanobisConfig::default());
+        let at_mean = *detector.mean();
+        assert!(detector.distance(&at_mean) < 1e-9);
+        let mut away = at_mean;
+        away[0] += 100.0;
+        let mut further = at_mean;
+        further[0] += 1_000.0;
+        assert!(detector.distance(&further) > detector.distance(&away));
+    }
+
+    #[test]
+    fn non_finite_components_are_ignored_rather_than_poisoning_the_distance() {
+        let samples = correlated_samples(300, 4);
+        let detector = MahalanobisDetector::fit(&samples, MahalanobisConfig::default());
+        let mut sample = *detector.mean();
+        sample[3] = f64::NAN;
+        assert!(detector.distance(&sample).is_finite());
+    }
+
+    #[test]
+    fn matrix_inverse_round_trips() {
+        let matrix = vec![
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 2.0],
+        ];
+        let inverse = invert(&matrix).expect("well-conditioned matrix");
+        for row in 0..3 {
+            for col in 0..3 {
+                let product: f64 =
+                    (0..3).map(|k| matrix[row][k] * inverse[k][col]).sum();
+                let expected = if row == col { 1.0 } else { 0.0 };
+                assert!((product - expected).abs() < 1e-9, "({row},{col}) = {product}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_inversion_fails_gracefully() {
+        let singular = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(invert(&singular).is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Static range-restriction anomaly detection, the "Ranger-style" baseline
+//! the paper cites for DNN accelerators (reference [8]).
+//!
+//! Each monitored state's preprocessed delta gets a fixed `[low, high]`
+//! envelope calibrated once from error-free training telemetry; anything
+//! outside the envelope alarms.  There is no online adaptation, which keeps
+//! the detector trivially cheap but makes it blind to corruptions that stay
+//! inside the training envelope — exactly the deficiency that motivates the
+//! paper's Gaussian and autoencoder schemes.
+
+use mavfi_ppc::states::{MonitoredStates, Stage, StateField};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the static range detector bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticRangeConfig {
+    /// Multiplier applied to each field's observed half-range when forming
+    /// its envelope; 1.0 uses the training extrema verbatim, larger values
+    /// trade recall for a lower false-positive rate.
+    pub margin: f64,
+    /// Minimum half-width of every envelope in code units, protecting fields
+    /// that were constant during training from alarming on any movement.
+    pub min_half_width: f64,
+}
+
+impl Default for StaticRangeConfig {
+    fn default() -> Self {
+        Self { margin: 1.5, min_half_width: 48.0 }
+    }
+}
+
+/// Calibrated envelope of one monitored state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldRange {
+    /// The monitored field.
+    pub field: StateField,
+    /// Lower envelope bound (inclusive).
+    pub low: f64,
+    /// Upper envelope bound (inclusive).
+    pub high: f64,
+}
+
+impl FieldRange {
+    /// Returns `true` when `delta` lies outside the envelope.
+    pub fn is_outlier(&self, delta: f64) -> bool {
+        delta.is_finite() && (delta < self.low || delta > self.high)
+    }
+
+    /// Distance of `delta` outside the envelope, in envelope half-widths;
+    /// 0 for in-range values.  Usable as a scalar anomaly score.
+    pub fn score(&self, delta: f64) -> f64 {
+        if !delta.is_finite() {
+            return 0.0;
+        }
+        let half_width = 0.5 * (self.high - self.low);
+        let center = 0.5 * (self.high + self.low);
+        if half_width <= f64::EPSILON {
+            return if delta == center { 0.0 } else { f64::MAX };
+        }
+        ((delta - center).abs() / half_width - 1.0).max(0.0)
+    }
+}
+
+/// A bank of static per-state range detectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticRangeBank {
+    ranges: Vec<FieldRange>,
+    alarms: Vec<u64>,
+}
+
+impl StaticRangeBank {
+    /// Calibrates the envelopes from error-free preprocessed telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn calibrate(
+        samples: &[[f64; MonitoredStates::DIM]],
+        config: StaticRangeConfig,
+    ) -> Self {
+        assert!(!samples.is_empty(), "range calibration requires error-free telemetry");
+        let ranges = StateField::ALL
+            .into_iter()
+            .map(|field| {
+                let index = field.index();
+                let mut low = f64::INFINITY;
+                let mut high = f64::NEG_INFINITY;
+                for sample in samples {
+                    let value = sample[index];
+                    if value.is_finite() {
+                        low = low.min(value);
+                        high = high.max(value);
+                    }
+                }
+                if !low.is_finite() || !high.is_finite() {
+                    low = 0.0;
+                    high = 0.0;
+                }
+                let center = 0.5 * (low + high);
+                let half_width =
+                    (0.5 * (high - low) * config.margin).max(config.min_half_width);
+                FieldRange { field, low: center - half_width, high: center + half_width }
+            })
+            .collect();
+        Self { ranges, alarms: vec![0; StateField::ALL.len()] }
+    }
+
+    /// The calibrated envelopes.
+    pub fn ranges(&self) -> &[FieldRange] {
+        &self.ranges
+    }
+
+    /// Total alarms raised so far.
+    pub fn total_alarms(&self) -> u64 {
+        self.alarms.iter().sum()
+    }
+
+    /// Alarms raised for states produced by `stage`.
+    pub fn alarms_for_stage(&self, stage: Stage) -> u64 {
+        StateField::ALL
+            .into_iter()
+            .filter(|field| field.stage() == stage)
+            .map(|field| self.alarms[field.index()])
+            .sum()
+    }
+
+    /// Observes the delta of a single field, returning `true` on alarm.
+    pub fn observe_field(&mut self, field: StateField, delta: f64) -> bool {
+        let outlier = self.ranges[field.index()].is_outlier(delta);
+        if outlier {
+            self.alarms[field.index()] += 1;
+        }
+        outlier
+    }
+
+    /// Observes a full preprocessed delta vector, returning the stages that
+    /// raised at least one alarm.
+    pub fn observe_all(&mut self, deltas: &[f64; MonitoredStates::DIM]) -> Vec<Stage> {
+        let mut stages = Vec::new();
+        for field in StateField::ALL {
+            if self.observe_field(field, deltas[field.index()]) && !stages.contains(&field.stage())
+            {
+                stages.push(field.stage());
+            }
+        }
+        stages
+    }
+
+    /// Maximum per-field envelope-excess score of a delta vector.
+    pub fn score(&self, deltas: &[f64; MonitoredStates::DIM]) -> f64 {
+        StateField::ALL
+            .into_iter()
+            .map(|field| self.ranges[field.index()].score(deltas[field.index()]))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_samples(count: usize, seed: u64) -> Vec<[f64; 13]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| std::array::from_fn(|_| rng.gen_range(-8.0..8.0))).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "error-free telemetry")]
+    fn empty_calibration_panics() {
+        let _ = StaticRangeBank::calibrate(&[], StaticRangeConfig::default());
+    }
+
+    #[test]
+    fn in_range_values_pass_and_excursions_alarm() {
+        let mut bank =
+            StaticRangeBank::calibrate(&training_samples(500, 1), StaticRangeConfig::default());
+        let clean: [f64; 13] = [1.0; 13];
+        assert!(bank.observe_all(&clean).is_empty());
+        assert_eq!(bank.score(&clean), 0.0);
+
+        let mut corrupted = clean;
+        corrupted[StateField::WaypointX.index()] = 4_000.0;
+        assert!(bank.score(&corrupted) > 0.0);
+        assert_eq!(bank.observe_all(&corrupted), vec![Stage::Planning]);
+        assert_eq!(bank.alarms_for_stage(Stage::Planning), 1);
+        assert_eq!(bank.total_alarms(), 1);
+    }
+
+    #[test]
+    fn corruption_inside_the_training_envelope_is_missed() {
+        // The structural weakness of static ranges: a corrupted value that
+        // stays inside the envelope never alarms.
+        let mut bank =
+            StaticRangeBank::calibrate(&training_samples(500, 2), StaticRangeConfig::default());
+        let mut sneaky = [0.0; 13];
+        sneaky[StateField::CommandVx.index()] = 7.0; // inside [-8, 8] * margin
+        assert!(bank.observe_all(&sneaky).is_empty());
+    }
+
+    #[test]
+    fn constant_training_fields_get_a_minimum_envelope() {
+        let samples = vec![[0.0; 13]; 50];
+        let bank = StaticRangeBank::calibrate(&samples, StaticRangeConfig::default());
+        for range in bank.ranges() {
+            assert!(range.high - range.low >= 2.0 * StaticRangeConfig::default().min_half_width);
+        }
+    }
+
+    #[test]
+    fn margin_widens_the_envelope() {
+        let samples = training_samples(200, 3);
+        let tight = StaticRangeBank::calibrate(
+            &samples,
+            StaticRangeConfig { margin: 1.0, min_half_width: 0.0 },
+        );
+        let loose = StaticRangeBank::calibrate(
+            &samples,
+            StaticRangeConfig { margin: 3.0, min_half_width: 0.0 },
+        );
+        for (t, l) in tight.ranges().iter().zip(loose.ranges()) {
+            assert!(l.high - l.low > t.high - t.low);
+        }
+    }
+
+    #[test]
+    fn non_finite_deltas_never_alarm() {
+        let mut bank =
+            StaticRangeBank::calibrate(&training_samples(100, 4), StaticRangeConfig::default());
+        assert!(!bank.observe_field(StateField::CommandVx, f64::NAN));
+        assert!(!bank.observe_field(StateField::CommandVx, f64::INFINITY));
+        assert_eq!(bank.total_alarms(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Collection of error-free telemetry and detector training (paper §V,
+//! "Training Environments").
+
+use mavfi_nn::train::{TrainConfig, TrainReport};
+use mavfi_ppc::states::MonitoredStates;
+use serde::{Deserialize, Serialize};
+
+use crate::aad::{AadConfig, AadDetector};
+use crate::gad::{CgadConfig, GadBank};
+use crate::preprocess::Preprocessor;
+
+/// A set of preprocessed error-free telemetry samples collected from golden
+/// runs in randomized training environments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySet {
+    preprocessor: Preprocessor,
+    samples: Vec<[f64; MonitoredStates::DIM]>,
+}
+
+impl TelemetrySet {
+    /// Creates an empty telemetry set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one monitored-state snapshot, preprocessing it relative to
+    /// the previous one.
+    pub fn record(&mut self, states: &MonitoredStates) {
+        let deltas = self.preprocessor.process(states);
+        self.samples.push(deltas);
+    }
+
+    /// Marks a mission boundary: the next recorded snapshot starts a fresh
+    /// delta baseline, so the jump between missions does not pollute the
+    /// training data.
+    pub fn end_mission(&mut self) {
+        self.preprocessor.reset();
+    }
+
+    /// The collected preprocessed samples.
+    pub fn samples(&self) -> &[[f64; MonitoredStates::DIM]] {
+        &self.samples
+    }
+
+    /// Number of collected samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends the samples of another telemetry set.
+    pub fn merge(&mut self, other: TelemetrySet) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Trains an autoencoder detector on this telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn train_aad(&self, config: AadConfig, train_config: &TrainConfig) -> (AadDetector, TrainReport) {
+        AadDetector::train(&self.samples, config, train_config)
+    }
+
+    /// Builds a Gaussian detector bank primed with this telemetry.
+    pub fn build_gad(&self, config: CgadConfig) -> GadBank {
+        let mut bank = GadBank::new(config);
+        bank.prime(&self.samples);
+        bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mavfi_ppc::states::StateField;
+
+    fn synthetic_states(step: usize) -> MonitoredStates {
+        let mut states = MonitoredStates::default();
+        let t = step as f64 * 0.1;
+        states.set_field(StateField::WaypointX, 10.0 + t);
+        states.set_field(StateField::WaypointY, -5.0 + 0.5 * t);
+        states.set_field(StateField::CommandVx, 2.0 * (t * 0.3).sin());
+        states.set_field(StateField::CommandVy, 1.5 * (t * 0.3).cos());
+        states.set_field(StateField::TimeToCollision, 3.0 + (t * 0.2).sin());
+        states
+    }
+
+    #[test]
+    fn recording_builds_delta_samples() {
+        let mut telemetry = TelemetrySet::new();
+        for step in 0..50 {
+            telemetry.record(&synthetic_states(step));
+        }
+        assert_eq!(telemetry.len(), 50);
+        assert!(!telemetry.is_empty());
+        // Deltas of smooth telemetry are small.
+        for sample in telemetry.samples().iter().skip(1) {
+            assert!(sample.iter().all(|d| d.abs() < 100.0));
+        }
+    }
+
+    #[test]
+    fn end_mission_resets_the_baseline() {
+        let mut telemetry = TelemetrySet::new();
+        telemetry.record(&synthetic_states(0));
+        telemetry.end_mission();
+        // A wildly different first sample of the next mission yields zero
+        // deltas rather than a spurious jump.
+        let mut far_away = MonitoredStates::default();
+        far_away.set_field(StateField::WaypointX, 500.0);
+        telemetry.record(&far_away);
+        assert_eq!(telemetry.samples()[1], [0.0; 13]);
+    }
+
+    #[test]
+    fn merge_concatenates_samples() {
+        let mut a = TelemetrySet::new();
+        a.record(&synthetic_states(0));
+        let mut b = TelemetrySet::new();
+        b.record(&synthetic_states(1));
+        b.record(&synthetic_states(2));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn detectors_can_be_built_from_telemetry() {
+        let mut telemetry = TelemetrySet::new();
+        for step in 0..120 {
+            telemetry.record(&synthetic_states(step));
+        }
+        let gad = telemetry.build_gad(CgadConfig::default());
+        assert!(gad.detectors()[0].samples() >= 100);
+
+        let train_config = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let (aad, report) = telemetry.train_aad(AadConfig::default(), &train_config);
+        assert!(aad.threshold() > 0.0);
+        assert_eq!(report.epoch_losses.len(), 3);
+    }
+}

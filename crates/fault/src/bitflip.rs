@@ -1,0 +1,161 @@
+//! Bit-level manipulation of IEEE-754 doubles: the raw mechanism behind the
+//! single-bit-flip fault model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The three bit fields of an IEEE-754 double.
+///
+/// The paper observes (§III-B) that flips in the sign and exponent fields
+/// dominate the impact on UAV behaviour, which both the fault model and the
+/// detectors' preprocessing exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitField {
+    /// Bit 63.
+    Sign,
+    /// Bits 52–62.
+    Exponent,
+    /// Bits 0–51.
+    Mantissa,
+}
+
+impl BitField {
+    /// All fields.
+    pub const ALL: [Self; 3] = [Self::Sign, Self::Exponent, Self::Mantissa];
+
+    /// The inclusive bit-index range of this field.
+    pub fn bit_range(self) -> std::ops::RangeInclusive<u8> {
+        match self {
+            Self::Sign => 63..=63,
+            Self::Exponent => 52..=62,
+            Self::Mantissa => 0..=51,
+        }
+    }
+
+    /// Number of bits in this field.
+    pub fn width(self) -> u32 {
+        let range = self.bit_range();
+        (*range.end() - *range.start() + 1) as u32
+    }
+
+    /// Classifies a bit index into its field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is not in `0..64`.
+    pub fn of_bit(bit: u8) -> Self {
+        assert!(bit < 64, "f64 has 64 bits");
+        match bit {
+            63 => Self::Sign,
+            52..=62 => Self::Exponent,
+            _ => Self::Mantissa,
+        }
+    }
+
+    /// Draws a uniformly random bit index within this field.
+    pub fn random_bit<R: Rng>(self, rng: &mut R) -> u8 {
+        let range = self.bit_range();
+        rng.gen_range(*range.start()..=*range.end())
+    }
+}
+
+/// Flips one bit of a double and returns the corrupted value.
+///
+/// # Panics
+///
+/// Panics if `bit` is not in `0..64`.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_fault::bitflip::flip_bit;
+///
+/// let corrupted = flip_bit(1.0, 63);
+/// assert_eq!(corrupted, -1.0);
+/// assert_eq!(flip_bit(corrupted, 63), 1.0);
+/// ```
+pub fn flip_bit(value: f64, bit: u8) -> f64 {
+    assert!(bit < 64, "f64 has 64 bits");
+    f64::from_bits(value.to_bits() ^ (1u64 << bit))
+}
+
+/// Returns `true` if flipping `bit` in `value` produces a value that differs
+/// by less than `tolerance` relative error — i.e. the fault would be masked
+/// at the application level.
+pub fn flip_is_masked(value: f64, bit: u8, tolerance: f64) -> bool {
+    let corrupted = flip_bit(value, bit);
+    if !corrupted.is_finite() || !value.is_finite() {
+        return false;
+    }
+    let scale = value.abs().max(1e-12);
+    ((corrupted - value) / scale).abs() < tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flipping_twice_is_identity() {
+        for &value in &[0.0, 1.0, -3.5, 1e300, 1e-300, std::f64::consts::PI] {
+            for bit in 0..64 {
+                let corrupted = flip_bit(value, bit);
+                assert_eq!(flip_bit(corrupted, bit).to_bits(), value.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sign_flip_negates() {
+        assert_eq!(flip_bit(2.5, 63), -2.5);
+        assert_eq!(flip_bit(-7.0, 63), 7.0);
+    }
+
+    #[test]
+    fn field_classification_covers_all_bits() {
+        let mut counts = std::collections::HashMap::new();
+        for bit in 0..64u8 {
+            *counts.entry(BitField::of_bit(bit)).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts[&BitField::Sign], 1);
+        assert_eq!(counts[&BitField::Exponent], 11);
+        assert_eq!(counts[&BitField::Mantissa], 52);
+        for field in BitField::ALL {
+            assert_eq!(counts[&field], field.width());
+        }
+    }
+
+    #[test]
+    fn random_bit_stays_in_field() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for field in BitField::ALL {
+            for _ in 0..100 {
+                let bit = field.random_bit(&mut rng);
+                assert_eq!(BitField::of_bit(bit), field);
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_flips_change_magnitude_dramatically() {
+        let value = 3.0;
+        let corrupted = flip_bit(value, 62);
+        assert!(!flip_is_masked(value, 62, 0.5));
+        assert!(corrupted.abs() > 1e10 || corrupted.abs() < 1e-10 || !corrupted.is_finite());
+    }
+
+    #[test]
+    fn low_mantissa_flips_are_masked() {
+        assert!(flip_is_masked(3.0, 0, 1e-6));
+        assert!(flip_is_masked(3.0, 10, 1e-6));
+        assert!(!flip_is_masked(3.0, 51, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "64 bits")]
+    fn out_of_range_bit_panics() {
+        let _ = flip_bit(1.0, 64);
+    }
+}

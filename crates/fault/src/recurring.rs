@@ -1,0 +1,349 @@
+//! Recurring fault injection: intermittent and permanent faults.
+//!
+//! The paper's model is a one-time transient single-bit upset
+//! ([`FaultInjector`](crate::injector::FaultInjector)).  Real silent data
+//! corruption also shows up as *intermittent* faults (the same marginal
+//! circuit misbehaving every so often — the "cores that don't count"
+//! failure mode the paper cites) and *permanent* stuck-at faults.  This
+//! module provides a stage tap that re-applies a fault on a schedule, used
+//! by the extended resilience studies.
+
+use mavfi_ppc::states::{CollisionEstimate, StateField, Trajectory};
+use mavfi_ppc::tap::{StageTap, TapAction};
+use mavfi_sim::vehicle::FlightCommand;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::injector::FaultSpec;
+use crate::model::CorruptionDetail;
+use crate::target::InjectionTarget;
+
+/// How often a recurring fault re-fires once its trigger tick is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recurrence {
+    /// Fire exactly once (equivalent to the paper's transient model).
+    Transient,
+    /// Fire every `period` ticks, at most `max_occurrences` times
+    /// (0 = unlimited).
+    Intermittent {
+        /// Ticks between consecutive firings.
+        period: u64,
+        /// Maximum number of firings; 0 means no limit.
+        max_occurrences: u64,
+    },
+    /// Fire on every tick from the trigger tick onward (a permanent fault).
+    Permanent,
+}
+
+impl Recurrence {
+    fn fires(&self, ticks_since_trigger: u64, occurrences_so_far: u64) -> bool {
+        match *self {
+            Self::Transient => occurrences_so_far == 0,
+            Self::Intermittent { period, max_occurrences } => {
+                let within_budget = max_occurrences == 0 || occurrences_so_far < max_occurrences;
+                within_budget && period > 0 && ticks_since_trigger % period == 0
+            }
+            Self::Permanent => true,
+        }
+    }
+}
+
+/// Specification of a recurring fault: a base [`FaultSpec`] plus its
+/// recurrence schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecurringFaultSpec {
+    /// The target, model, trigger tick and seed of each individual firing.
+    pub base: FaultSpec,
+    /// How often the fault re-fires.
+    pub recurrence: Recurrence,
+}
+
+impl RecurringFaultSpec {
+    /// A transient recurring fault, behaving like the one-shot injector.
+    pub fn transient(base: FaultSpec) -> Self {
+        Self { base, recurrence: Recurrence::Transient }
+    }
+
+    /// An intermittent fault firing every `period` ticks.
+    pub fn intermittent(base: FaultSpec, period: u64, max_occurrences: u64) -> Self {
+        Self { base, recurrence: Recurrence::Intermittent { period, max_occurrences } }
+    }
+
+    /// A permanent fault firing on every tick from the trigger onward.
+    pub fn permanent(base: FaultSpec) -> Self {
+        Self { base, recurrence: Recurrence::Permanent }
+    }
+}
+
+/// A stage tap that applies a fault repeatedly according to its recurrence
+/// schedule.  Only scalar inter-kernel state targets
+/// ([`InjectionTarget::State`] and [`InjectionTarget::Stage`]) are
+/// supported; kernel-structure targets (point cloud, occupancy map) remain
+/// the domain of the one-shot [`FaultInjector`](crate::injector::FaultInjector).
+#[derive(Debug, Clone)]
+pub struct RecurringInjector {
+    spec: RecurringFaultSpec,
+    rng: StdRng,
+    current_tick: u64,
+    ticks_seen: u64,
+    occurrences: Vec<FaultOccurrence>,
+}
+
+/// Record of one firing of a recurring fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultOccurrence {
+    /// Tick at which this firing happened.
+    pub tick: u64,
+    /// The corrupted scalar field.
+    pub field: StateField,
+    /// Details of the value corruption.
+    pub detail: CorruptionDetail,
+}
+
+impl RecurringInjector {
+    /// Creates an injector for one recurring-fault experiment.
+    pub fn new(spec: RecurringFaultSpec) -> Self {
+        Self {
+            spec,
+            rng: StdRng::seed_from_u64(spec.base.seed),
+            current_tick: 0,
+            ticks_seen: 0,
+            occurrences: Vec::new(),
+        }
+    }
+
+    /// The experiment specification.
+    pub fn spec(&self) -> RecurringFaultSpec {
+        self.spec
+    }
+
+    /// Every firing recorded so far, in tick order.
+    pub fn occurrences(&self) -> &[FaultOccurrence] {
+        &self.occurrences
+    }
+
+    /// Number of firings so far.
+    pub fn occurrence_count(&self) -> u64 {
+        self.occurrences.len() as u64
+    }
+
+    fn armed(&self) -> bool {
+        if self.current_tick < self.spec.base.trigger_tick {
+            return false;
+        }
+        let since_trigger = self.current_tick - self.spec.base.trigger_tick;
+        self.spec.recurrence.fires(since_trigger, self.occurrence_count())
+    }
+
+    /// The scalar field this injector corrupts on the hook of `stage`, if
+    /// any.
+    fn field_for_stage(&mut self, stage: mavfi_ppc::states::Stage) -> Option<StateField> {
+        match self.spec.base.target {
+            InjectionTarget::State(field) if field.stage() == stage => Some(field),
+            InjectionTarget::Stage(target) if target == stage => {
+                use rand::seq::SliceRandom;
+                let fields: Vec<StateField> =
+                    StateField::ALL.into_iter().filter(|field| field.stage() == stage).collect();
+                fields.choose(&mut self.rng).copied()
+            }
+            _ => None,
+        }
+    }
+
+    fn corrupt(&mut self, field: StateField, value: &mut f64) {
+        let (corrupted, detail) = self.spec.base.model.apply(*value, &mut self.rng);
+        *value = corrupted;
+        self.occurrences.push(FaultOccurrence { tick: self.current_tick, field, detail });
+    }
+}
+
+impl StageTap for RecurringInjector {
+    fn after_point_cloud(&mut self, _cloud: &mut mavfi_ppc::states::PointCloud) {
+        self.current_tick = self.ticks_seen;
+        self.ticks_seen += 1;
+    }
+
+    fn after_perception(&mut self, estimate: &mut CollisionEstimate) -> TapAction {
+        if self.armed() {
+            if let Some(field) = self.field_for_stage(mavfi_ppc::states::Stage::Perception) {
+                let mut value = match field {
+                    StateField::TimeToCollision => estimate.time_to_collision,
+                    _ => estimate.future_collision_seq,
+                };
+                if !value.is_finite() {
+                    value = 1.0e6;
+                }
+                self.corrupt(field, &mut value);
+                match field {
+                    StateField::TimeToCollision => estimate.time_to_collision = value,
+                    _ => estimate.future_collision_seq = value,
+                }
+            }
+        }
+        TapAction::Continue
+    }
+
+    fn after_planning(&mut self, trajectory: &mut Trajectory, active_index: usize) -> TapAction {
+        if self.armed() && !trajectory.is_empty() {
+            if let Some(field) = self.field_for_stage(mavfi_ppc::states::Stage::Planning) {
+                let index = active_index.min(trajectory.len() - 1);
+                let waypoint = &mut trajectory.waypoints[index];
+                let mut value = match field {
+                    StateField::WaypointX => waypoint.position.x,
+                    StateField::WaypointY => waypoint.position.y,
+                    StateField::WaypointZ => waypoint.position.z,
+                    StateField::WaypointYaw => waypoint.yaw,
+                    StateField::WaypointVx => waypoint.velocity.x,
+                    StateField::WaypointVy => waypoint.velocity.y,
+                    _ => waypoint.velocity.z,
+                };
+                self.corrupt(field, &mut value);
+                match field {
+                    StateField::WaypointX => waypoint.position.x = value,
+                    StateField::WaypointY => waypoint.position.y = value,
+                    StateField::WaypointZ => waypoint.position.z = value,
+                    StateField::WaypointYaw => waypoint.yaw = value,
+                    StateField::WaypointVx => waypoint.velocity.x = value,
+                    StateField::WaypointVy => waypoint.velocity.y = value,
+                    _ => waypoint.velocity.z = value,
+                }
+            }
+        }
+        TapAction::Continue
+    }
+
+    fn after_control(&mut self, command: &mut FlightCommand) -> TapAction {
+        if self.armed() {
+            if let Some(field) = self.field_for_stage(mavfi_ppc::states::Stage::Control) {
+                let mut value = match field {
+                    StateField::CommandVx => command.velocity.x,
+                    StateField::CommandVy => command.velocity.y,
+                    StateField::CommandVz => command.velocity.z,
+                    _ => command.yaw_rate,
+                };
+                self.corrupt(field, &mut value);
+                match field {
+                    StateField::CommandVx => command.velocity.x = value,
+                    StateField::CommandVy => command.velocity.y = value,
+                    StateField::CommandVz => command.velocity.z = value,
+                    _ => command.yaw_rate = value,
+                }
+            }
+        }
+        TapAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BitSelection, FaultModel};
+    use mavfi_ppc::states::PointCloud;
+    use mavfi_sim::geometry::Vec3;
+
+    fn command_fault(model: FaultModel, trigger: u64) -> FaultSpec {
+        FaultSpec {
+            target: InjectionTarget::State(StateField::CommandVx),
+            model,
+            trigger_tick: trigger,
+            seed: 11,
+        }
+    }
+
+    fn drive_ticks(injector: &mut RecurringInjector, ticks: u64) -> u64 {
+        let mut fired = 0;
+        for _ in 0..ticks {
+            injector.after_point_cloud(&mut PointCloud::default());
+            let before = injector.occurrence_count();
+            let mut command = FlightCommand::new(Vec3::new(2.0, 0.0, 0.0), 0.0);
+            injector.after_control(&mut command);
+            if injector.occurrence_count() > before {
+                fired += 1;
+            }
+        }
+        fired
+    }
+
+    #[test]
+    fn transient_recurrence_fires_exactly_once() {
+        let spec = RecurringFaultSpec::transient(command_fault(FaultModel::default(), 3));
+        let mut injector = RecurringInjector::new(spec);
+        let fired = drive_ticks(&mut injector, 20);
+        assert_eq!(fired, 1);
+        assert_eq!(injector.occurrences()[0].tick, 3);
+        assert_eq!(injector.occurrences()[0].field, StateField::CommandVx);
+    }
+
+    #[test]
+    fn intermittent_recurrence_fires_on_its_period() {
+        let spec = RecurringFaultSpec::intermittent(
+            command_fault(FaultModel::StuckAt { value: 0.0 }, 2),
+            5,
+            0,
+        );
+        let mut injector = RecurringInjector::new(spec);
+        let fired = drive_ticks(&mut injector, 22);
+        // Trigger at tick 2, then every 5 ticks: 2, 7, 12, 17 within 22 ticks.
+        assert_eq!(fired, 4);
+        let ticks: Vec<u64> = injector.occurrences().iter().map(|o| o.tick).collect();
+        assert_eq!(ticks, vec![2, 7, 12, 17]);
+    }
+
+    #[test]
+    fn intermittent_occurrence_budget_is_respected() {
+        let spec = RecurringFaultSpec::intermittent(
+            command_fault(FaultModel::StuckAt { value: 9.0 }, 0),
+            2,
+            3,
+        );
+        let mut injector = RecurringInjector::new(spec);
+        let fired = drive_ticks(&mut injector, 50);
+        assert_eq!(fired, 3);
+    }
+
+    #[test]
+    fn permanent_recurrence_fires_every_tick_after_the_trigger() {
+        let spec = RecurringFaultSpec::permanent(command_fault(
+            FaultModel::SingleBitFlip { selection: BitSelection::Exact(63) },
+            4,
+        ));
+        let mut injector = RecurringInjector::new(spec);
+        let fired = drive_ticks(&mut injector, 10);
+        assert_eq!(fired, 6);
+        assert!(injector.occurrences().iter().all(|o| o.tick >= 4));
+    }
+
+    #[test]
+    fn stage_target_corrupts_some_field_of_that_stage() {
+        let base = FaultSpec {
+            target: InjectionTarget::Stage(mavfi_ppc::states::Stage::Planning),
+            model: FaultModel::default(),
+            trigger_tick: 0,
+            seed: 5,
+        };
+        let mut injector = RecurringInjector::new(RecurringFaultSpec::permanent(base));
+        injector.after_point_cloud(&mut PointCloud::default());
+        let mut trajectory =
+            Trajectory::new(vec![mavfi_ppc::states::Waypoint::default(); 3]);
+        injector.after_planning(&mut trajectory, 1);
+        assert_eq!(injector.occurrence_count(), 1);
+        assert_eq!(
+            injector.occurrences()[0].field.stage(),
+            mavfi_ppc::states::Stage::Planning
+        );
+    }
+
+    #[test]
+    fn kernel_targets_are_ignored_by_the_recurring_injector() {
+        let base = FaultSpec {
+            target: InjectionTarget::Kernel(mavfi_ppc::kernel::KernelId::OctoMap),
+            model: FaultModel::default(),
+            trigger_tick: 0,
+            seed: 5,
+        };
+        let mut injector = RecurringInjector::new(RecurringFaultSpec::permanent(base));
+        let fired = drive_ticks(&mut injector, 10);
+        assert_eq!(fired, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Injection targets: where in the PPC pipeline the fault lands.
+
+use mavfi_ppc::kernel::KernelId;
+use mavfi_ppc::states::{Stage, StateField};
+use serde::{Deserialize, Serialize};
+
+/// Where a fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InjectionTarget {
+    /// Corrupt the output of one specific kernel (the paper's Fig. 3
+    /// per-kernel sensitivity study).
+    Kernel(KernelId),
+    /// Corrupt one specific monitored inter-kernel state (Fig. 4).
+    State(StateField),
+    /// Corrupt a randomly chosen inter-kernel state of one stage (the
+    /// Table I / Fig. 6 campaigns inject 100 faults per PPC stage).
+    Stage(Stage),
+}
+
+impl InjectionTarget {
+    /// The pipeline stage this target affects.
+    pub fn stage(self) -> Stage {
+        match self {
+            Self::Kernel(kernel) => kernel.stage(),
+            Self::State(field) => field.stage(),
+            Self::Stage(stage) => stage,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Self::Kernel(kernel) => kernel.label().to_owned(),
+            Self::State(field) => field.label().to_owned(),
+            Self::Stage(stage) => stage.label().to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_stage_is_consistent() {
+        assert_eq!(InjectionTarget::Kernel(KernelId::OctoMap).stage(), Stage::Perception);
+        assert_eq!(InjectionTarget::Kernel(KernelId::RrtStar).stage(), Stage::Planning);
+        assert_eq!(InjectionTarget::State(StateField::CommandVx).stage(), Stage::Control);
+        assert_eq!(InjectionTarget::Stage(Stage::Planning).stage(), Stage::Planning);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(InjectionTarget::Kernel(KernelId::Pid).label(), "PID");
+        assert_eq!(InjectionTarget::State(StateField::WaypointX).label(), "waypoint_x");
+        assert_eq!(InjectionTarget::Stage(Stage::Control).label(), "Control");
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulated time source shared by the bus, executor and recorder.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// A monotonically advancing simulated clock.
+///
+/// MAVFI campaigns must be deterministic and much faster than real time, so
+/// every timestamp in the middleware comes from this clock rather than the
+/// operating system.  Cloning a `SimClock` yields a handle to the *same*
+/// underlying time source.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mavfi_middleware::SimClock;
+///
+/// let clock = SimClock::new();
+/// assert_eq!(clock.now(), Duration::ZERO);
+/// clock.advance(Duration::from_millis(20));
+/// assert_eq!(clock.now(), Duration::from_millis(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<RwLock<Duration>>,
+}
+
+impl SimClock {
+    /// Creates a clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at the given offset.
+    pub fn starting_at(offset: Duration) -> Self {
+        Self { now: Arc::new(RwLock::new(offset)) }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> Duration {
+        *self.now.read()
+    }
+
+    /// Advances the clock by `delta` and returns the new time.
+    pub fn advance(&self, delta: Duration) -> Duration {
+        let mut guard = self.now.write();
+        *guard += delta;
+        *guard
+    }
+
+    /// Sets the clock to an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is earlier than the current time; simulated time never
+    /// flows backwards.
+    pub fn set(&self, to: Duration) {
+        let mut guard = self.now.write();
+        assert!(to >= *guard, "simulated time must not move backwards");
+        *guard = to;
+    }
+
+    /// Returns the current time expressed in seconds as `f64`.
+    pub fn now_secs(&self) -> f64 {
+        self.now().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(other.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn starting_at_offset() {
+        let clock = SimClock::starting_at(Duration::from_secs(5));
+        assert_eq!(clock.now_secs(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn set_backwards_panics() {
+        let clock = SimClock::starting_at(Duration::from_secs(5));
+        clock.set(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn advance_returns_new_time() {
+        let clock = SimClock::new();
+        let new = clock.advance(Duration::from_millis(250));
+        assert_eq!(new, Duration::from_millis(250));
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic rate-driven executor stepping nodes on the simulated clock.
+
+use std::time::Duration;
+
+use crate::clock::SimClock;
+use crate::error::MiddlewareError;
+use crate::node::{Node, NodeContext};
+use crate::registry::Registry;
+use crate::topic::Bus;
+
+struct Entry {
+    node: Box<dyn Node>,
+    next_due: Duration,
+    step_index: u64,
+}
+
+/// Summary of one executor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorReport {
+    /// Number of node steps executed.
+    pub steps: u64,
+    /// Number of node crashes observed (each followed by a restart).
+    pub crashes: u64,
+    /// Simulated time at the end of the run.
+    pub end_time: Duration,
+}
+
+/// Schedules [`Node`]s at their declared periods against the bus clock.
+///
+/// Scheduling is fully deterministic: nodes due at the same instant run in
+/// the order they were added, and the clock only advances to instants at
+/// which some node is due.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mavfi_middleware::{Bus, Executor, Node, NodeContext, NodeError};
+///
+/// struct Ticker;
+///
+/// impl Node for Ticker {
+///     fn name(&self) -> &str {
+///         "ticker"
+///     }
+///     fn period(&self) -> Duration {
+///         Duration::from_millis(100)
+///     }
+///     fn step(&mut self, ctx: &mut NodeContext<'_>) -> Result<(), NodeError> {
+///         ctx.bus.advertise::<u64>("tick").publish(ctx.step_index);
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), mavfi_middleware::MiddlewareError> {
+/// let bus = Bus::new();
+/// let ticks = bus.subscribe::<u64>("tick");
+/// let mut executor = Executor::new(bus);
+/// executor.add_node(Box::new(Ticker));
+/// let report = executor.run_for(Duration::from_secs(1))?;
+/// assert_eq!(report.steps, 11); // t = 0.0, 0.1, ..., 1.0
+/// assert_eq!(ticks.len(), 11);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Executor {
+    bus: Bus,
+    clock: SimClock,
+    registry: Registry,
+    entries: Vec<Entry>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("nodes", &self.entries.iter().map(|e| e.node.name().to_owned()).collect::<Vec<_>>())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor driving nodes on the given bus and its clock.
+    pub fn new(bus: Bus) -> Self {
+        let clock = bus.clock();
+        Self { bus, clock, registry: Registry::new(), entries: Vec::new() }
+    }
+
+    /// Adds a node; its first step is scheduled at the current simulated
+    /// time.
+    pub fn add_node(&mut self, node: Box<dyn Node>) {
+        let next_due = self.clock.now();
+        self.entries.push(Entry { node, next_due, step_index: 0 });
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The registry of per-node statistics.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The bus nodes communicate on.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Runs all nodes for an additional `duration` of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::EmptyExecutor`] if no nodes are
+    /// registered.  Node crashes are not errors; they are recorded and the
+    /// node is restarted.
+    pub fn run_for(&mut self, duration: Duration) -> Result<ExecutorReport, MiddlewareError> {
+        let deadline = self.clock.now() + duration;
+        self.run_until(deadline)
+    }
+
+    /// Runs all nodes until the simulated clock reaches `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::EmptyExecutor`] if no nodes are
+    /// registered.
+    pub fn run_until(&mut self, deadline: Duration) -> Result<ExecutorReport, MiddlewareError> {
+        if self.entries.is_empty() {
+            return Err(MiddlewareError::EmptyExecutor);
+        }
+        let mut report = ExecutorReport::default();
+        loop {
+            let next_due = self
+                .entries
+                .iter()
+                .map(|entry| entry.next_due)
+                .min()
+                .expect("entries checked non-empty");
+            if next_due > deadline {
+                break;
+            }
+            if next_due > self.clock.now() {
+                self.clock.set(next_due);
+            }
+            let now = self.clock.now();
+            for entry in &mut self.entries {
+                if entry.next_due != next_due {
+                    continue;
+                }
+                let mut ctx = NodeContext { bus: &self.bus, now, step_index: entry.step_index };
+                let outcome = entry.node.step(&mut ctx);
+                entry.step_index += 1;
+                entry.next_due = now + entry.node.period().max(Duration::from_nanos(1));
+                report.steps += 1;
+                self.registry.record_step(entry.node.name());
+                if outcome.is_err() {
+                    report.crashes += 1;
+                    self.registry.record_crash(entry.node.name());
+                    entry.node.on_restart();
+                }
+            }
+        }
+        if deadline > self.clock.now() {
+            self.clock.set(deadline);
+        }
+        report.end_time = self.clock.now();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeError;
+
+    struct Periodic {
+        name: String,
+        period: Duration,
+        fail_on: Option<u64>,
+        restarts_seen: u64,
+    }
+
+    impl Periodic {
+        fn new(name: &str, millis: u64) -> Self {
+            Self {
+                name: name.to_owned(),
+                period: Duration::from_millis(millis),
+                fail_on: None,
+                restarts_seen: 0,
+            }
+        }
+    }
+
+    impl Node for Periodic {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn period(&self) -> Duration {
+            self.period
+        }
+        fn step(&mut self, ctx: &mut NodeContext<'_>) -> Result<(), NodeError> {
+            ctx.bus.advertise::<String>("trace").publish(format!("{}@{}", self.name, ctx.now.as_millis()));
+            if self.fail_on == Some(ctx.step_index) {
+                return Err(NodeError::new("intentional failure"));
+            }
+            Ok(())
+        }
+        fn on_restart(&mut self) {
+            self.restarts_seen += 1;
+        }
+    }
+
+    #[test]
+    fn empty_executor_is_an_error() {
+        let mut executor = Executor::new(Bus::new());
+        assert_eq!(
+            executor.run_for(Duration::from_secs(1)).unwrap_err(),
+            MiddlewareError::EmptyExecutor
+        );
+    }
+
+    #[test]
+    fn step_counts_match_periods() {
+        let bus = Bus::new();
+        let mut executor = Executor::new(bus);
+        executor.add_node(Box::new(Periodic::new("fast", 100)));
+        executor.add_node(Box::new(Periodic::new("slow", 250)));
+        let report = executor.run_for(Duration::from_secs(1)).unwrap();
+        // fast: t=0,100,...,1000 -> 11 steps; slow: t=0,250,500,750,1000 -> 5 steps.
+        assert_eq!(report.steps, 16);
+        assert_eq!(executor.registry().info("fast").unwrap().steps, 11);
+        assert_eq!(executor.registry().info("slow").unwrap().steps, 5);
+        assert_eq!(report.end_time, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn deterministic_order_for_simultaneous_nodes() {
+        let bus = Bus::new();
+        let trace = bus.subscribe::<String>("trace");
+        let mut executor = Executor::new(bus);
+        executor.add_node(Box::new(Periodic::new("first", 100)));
+        executor.add_node(Box::new(Periodic::new("second", 100)));
+        executor.run_for(Duration::from_millis(100)).unwrap();
+        let messages = trace.drain();
+        assert_eq!(messages[0], "first@0");
+        assert_eq!(messages[1], "second@0");
+        assert_eq!(messages[2], "first@100");
+        assert_eq!(messages[3], "second@100");
+    }
+
+    #[test]
+    fn crashes_trigger_restart_and_continue() {
+        let bus = Bus::new();
+        let mut node = Periodic::new("flaky", 100);
+        node.fail_on = Some(1);
+        let mut executor = Executor::new(bus);
+        executor.add_node(Box::new(node));
+        let report = executor.run_for(Duration::from_millis(500)).unwrap();
+        assert_eq!(report.crashes, 1);
+        let info = executor.registry().info("flaky").unwrap();
+        assert_eq!(info.crashes, 1);
+        assert_eq!(info.steps, 6);
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_even_past_last_step() {
+        let bus = Bus::new();
+        let clock = bus.clock();
+        let mut executor = Executor::new(bus);
+        executor.add_node(Box::new(Periodic::new("only", 300)));
+        executor.run_for(Duration::from_millis(700)).unwrap();
+        assert_eq!(clock.now(), Duration::from_millis(700));
+    }
+}

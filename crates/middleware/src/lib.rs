@@ -1,0 +1,58 @@
+//! `mavfi-middleware` is a small, deterministic, in-process publish/subscribe
+//! middleware modelled after the subset of ROS 1 that the MAVFI paper relies
+//! on: named *topics* carrying typed messages between *nodes*, one-to-one
+//! *services*, a master-like registry that restarts crashed nodes, and a
+//! rate-driven executor running on a simulated clock.
+//!
+//! The fault-injection framework of the paper attaches to the ROS
+//! communication layer to corrupt inter-kernel states in flight; this crate
+//! reproduces that hook with per-topic [interceptors](topic::Publisher) that
+//! may mutate messages between publication and delivery.
+//!
+//! # Examples
+//!
+//! ```
+//! use mavfi_middleware::prelude::*;
+//!
+//! let bus = Bus::new();
+//! let publisher = bus.advertise::<f64>("altitude");
+//! let subscriber = bus.subscribe::<f64>("altitude");
+//!
+//! publisher.publish(12.5);
+//! assert_eq!(subscriber.try_recv(), Some(12.5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod error;
+pub mod executor;
+pub mod message;
+pub mod node;
+pub mod record;
+pub mod registry;
+pub mod service;
+pub mod topic;
+
+pub use clock::SimClock;
+pub use error::MiddlewareError;
+pub use executor::{Executor, ExecutorReport};
+pub use message::Message;
+pub use node::{Node, NodeContext, NodeError};
+pub use record::{RecordEntry, Recorder};
+pub use registry::{NodeInfo, Registry};
+pub use service::{ServiceClient, ServiceServer};
+pub use topic::{Bus, Publisher, Subscriber};
+
+/// Commonly used items, suitable for glob import.
+pub mod prelude {
+    pub use crate::clock::SimClock;
+    pub use crate::error::MiddlewareError;
+    pub use crate::executor::{Executor, ExecutorReport};
+    pub use crate::message::Message;
+    pub use crate::node::{Node, NodeContext, NodeError};
+    pub use crate::record::{RecordEntry, Recorder};
+    pub use crate::registry::{NodeInfo, Registry};
+    pub use crate::topic::{Bus, Publisher, Subscriber};
+}

@@ -1,0 +1,54 @@
+//! The [`Message`] trait implemented by every payload carried on a topic.
+
+use std::fmt::Debug;
+
+/// Marker trait for types that can be published on a [`Bus`](crate::Bus)
+/// topic or exchanged through a service.
+///
+/// The trait is blanket-implemented for every `Clone + Send + Debug +
+/// 'static` type, mirroring how any serialisable struct can be a ROS
+/// message.  Cloning is required because a single publication is delivered
+/// to every subscriber.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_middleware::Message;
+///
+/// #[derive(Clone, Debug, PartialEq)]
+/// struct Imu {
+///     acceleration: [f64; 3],
+/// }
+///
+/// fn assert_message<T: Message>() {}
+/// assert_message::<Imu>();
+/// ```
+pub trait Message: Clone + Send + Debug + 'static {}
+
+impl<T> Message for T where T: Clone + Send + Debug + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Custom {
+        #[allow(dead_code)]
+        value: u32,
+    }
+
+    fn assert_message<T: Message>() {}
+
+    #[test]
+    fn primitives_are_messages() {
+        assert_message::<f64>();
+        assert_message::<u8>();
+        assert_message::<String>();
+        assert_message::<Vec<f32>>();
+    }
+
+    #[test]
+    fn custom_struct_is_message() {
+        assert_message::<Custom>();
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`Node`] trait: the unit of computation scheduled by the executor.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use crate::topic::Bus;
+
+/// Error returned by a node's [`step`](Node::step), interpreted by the
+/// executor as a crash of that node.
+///
+/// In MAVFI, ROS node crashes are outside the silent-data-corruption threat
+/// model because the ROS master restarts crashed nodes automatically; the
+/// executor reproduces that behaviour by calling [`Node::on_restart`] and
+/// continuing the mission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeError {
+    reason: String,
+}
+
+impl NodeError {
+    /// Creates a node error with a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+
+    /// The crash reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node step failed: {}", self.reason)
+    }
+}
+
+impl Error for NodeError {}
+
+/// Execution context handed to a node on every step.
+#[derive(Debug)]
+pub struct NodeContext<'a> {
+    /// The shared message bus.
+    pub bus: &'a Bus,
+    /// Current simulated time.
+    pub now: Duration,
+    /// Number of times this node has been stepped before (0 on the first
+    /// step, monotonically increasing, not reset by restarts).
+    pub step_index: u64,
+}
+
+/// A periodically scheduled unit of computation, the analogue of a ROS node
+/// wrapping a single compute kernel.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mavfi_middleware::{Node, NodeContext, NodeError};
+///
+/// struct Heartbeat {
+///     count: u64,
+/// }
+///
+/// impl Node for Heartbeat {
+///     fn name(&self) -> &str {
+///         "heartbeat"
+///     }
+///
+///     fn period(&self) -> Duration {
+///         Duration::from_millis(100)
+///     }
+///
+///     fn step(&mut self, _ctx: &mut NodeContext<'_>) -> Result<(), NodeError> {
+///         self.count += 1;
+///         Ok(())
+///     }
+/// }
+/// ```
+pub trait Node: Send {
+    /// Unique, stable name of the node (used by the registry).
+    fn name(&self) -> &str;
+
+    /// Interval between consecutive steps in simulated time.
+    fn period(&self) -> Duration;
+
+    /// Performs one unit of work.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error marks the node as crashed for this step; the
+    /// executor records the crash, invokes [`Node::on_restart`] and resumes
+    /// scheduling the node, mirroring the ROS master restart behaviour.
+    fn step(&mut self, ctx: &mut NodeContext<'_>) -> Result<(), NodeError>;
+
+    /// Hook invoked after a crash, before the node is rescheduled.  The
+    /// default implementation does nothing.
+    fn on_restart(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        steps: u64,
+    }
+
+    impl Node for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn period(&self) -> Duration {
+            Duration::from_millis(10)
+        }
+
+        fn step(&mut self, _ctx: &mut NodeContext<'_>) -> Result<(), NodeError> {
+            self.steps += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn node_error_displays_reason() {
+        let err = NodeError::new("division by zero");
+        assert!(err.to_string().contains("division by zero"));
+        assert_eq!(err.reason(), "division by zero");
+    }
+
+    #[test]
+    fn manual_step_through_context() {
+        let bus = Bus::new();
+        let mut node = Counter { steps: 0 };
+        let mut ctx = NodeContext { bus: &bus, now: Duration::ZERO, step_index: 0 };
+        node.step(&mut ctx).unwrap();
+        node.step(&mut ctx).unwrap();
+        assert_eq!(node.steps, 2);
+    }
+
+    #[test]
+    fn node_trait_is_object_safe() {
+        let node: Box<dyn Node> = Box::new(Counter { steps: 0 });
+        assert_eq!(node.name(), "counter");
+        assert_eq!(node.period(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,136 @@
+//! A rosbag-like recorder capturing every publication on a [`Bus`](crate::Bus).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One recorded publication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordEntry {
+    /// Monotonically increasing sequence number across the whole bus.
+    pub seq: u64,
+    /// Topic the message was published on.
+    pub topic: String,
+    /// Simulated time of publication.
+    pub stamp: Duration,
+    /// `Debug` rendering of the message, truncated to a bounded length.
+    pub summary: String,
+}
+
+/// Maximum number of characters kept from a message's `Debug` rendering.
+const SUMMARY_LIMIT: usize = 160;
+
+/// Records topic publications for post-mission analysis, in the same spirit
+/// as `rosbag record`.
+///
+/// Attach a recorder with [`Bus::set_recorder`](crate::Bus::set_recorder);
+/// every subsequent publication is captured.  Cloning a `Recorder` clones a
+/// handle to the same underlying storage.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_middleware::{Bus, Recorder};
+///
+/// let bus = Bus::new();
+/// let recorder = Recorder::new();
+/// bus.set_recorder(recorder.clone());
+///
+/// bus.advertise::<u32>("ticks").publish(7);
+/// assert_eq!(recorder.len(), 1);
+/// assert_eq!(recorder.entries()[0].topic, "ticks");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    entries: Arc<Mutex<Vec<RecordEntry>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry.  Intended to be called by the bus, but public so
+    /// that custom transports can participate in recording.
+    pub fn record(&self, topic: &str, stamp: Duration, summary: impl Into<String>) {
+        let mut entries = self.entries.lock();
+        let seq = entries.len() as u64;
+        let mut summary = summary.into();
+        if summary.len() > SUMMARY_LIMIT {
+            summary.truncate(SUMMARY_LIMIT);
+        }
+        entries.push(RecordEntry { seq, topic: topic.to_owned(), stamp, summary });
+    }
+
+    /// Returns a copy of every recorded entry in publication order.
+    pub fn entries(&self) -> Vec<RecordEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries recorded for a single topic.
+    pub fn count_for_topic(&self, topic: &str) -> usize {
+        self.entries.lock().iter().filter(|entry| entry.topic == topic).count()
+    }
+
+    /// Removes all recorded entries.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let recorder = Recorder::new();
+        recorder.record("a", Duration::from_secs(1), "x");
+        recorder.record("b", Duration::from_secs(2), "y");
+        let entries = recorder.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 0);
+        assert_eq!(entries[1].seq, 1);
+        assert_eq!(entries[1].topic, "b");
+    }
+
+    #[test]
+    fn truncates_long_summaries() {
+        let recorder = Recorder::new();
+        recorder.record("t", Duration::ZERO, "z".repeat(1000));
+        assert_eq!(recorder.entries()[0].summary.len(), SUMMARY_LIMIT);
+    }
+
+    #[test]
+    fn counts_per_topic_and_clears() {
+        let recorder = Recorder::new();
+        for _ in 0..3 {
+            recorder.record("imu", Duration::ZERO, "m");
+        }
+        recorder.record("cmd", Duration::ZERO, "c");
+        assert_eq!(recorder.count_for_topic("imu"), 3);
+        assert_eq!(recorder.count_for_topic("cmd"), 1);
+        recorder.clear();
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let recorder = Recorder::new();
+        let other = recorder.clone();
+        other.record("t", Duration::ZERO, "m");
+        assert_eq!(recorder.len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Node bookkeeping: step counts, crashes and restarts, in the role of the
+//! ROS master's node registry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Per-node statistics tracked by the [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Node name.
+    pub name: String,
+    /// Number of completed steps (successful or crashed).
+    pub steps: u64,
+    /// Number of steps that ended in a crash.
+    pub crashes: u64,
+    /// Number of times the node was restarted after a crash.
+    pub restarts: u64,
+}
+
+/// Shared registry of node statistics.
+///
+/// Cloning a `Registry` clones a handle to the same underlying table, so the
+/// executor and observers (for example the mission report) see the same
+/// numbers.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_middleware::Registry;
+///
+/// let registry = Registry::new();
+/// registry.record_step("planner");
+/// registry.record_crash("planner");
+/// let info = registry.info("planner").expect("registered on first step");
+/// assert_eq!(info.steps, 1);
+/// assert_eq!(info.crashes, 1);
+/// assert_eq!(info.restarts, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    nodes: Arc<Mutex<HashMap<String, NodeInfo>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed step for `name`, creating the entry on first
+    /// use.
+    pub fn record_step(&self, name: &str) {
+        let mut nodes = self.nodes.lock();
+        let info = nodes.entry(name.to_owned()).or_insert_with(|| NodeInfo {
+            name: name.to_owned(),
+            ..NodeInfo::default()
+        });
+        info.steps += 1;
+    }
+
+    /// Records a crash (and the implied automatic restart) for `name`.
+    pub fn record_crash(&self, name: &str) {
+        let mut nodes = self.nodes.lock();
+        let info = nodes.entry(name.to_owned()).or_insert_with(|| NodeInfo {
+            name: name.to_owned(),
+            ..NodeInfo::default()
+        });
+        info.crashes += 1;
+        info.restarts += 1;
+    }
+
+    /// Returns a copy of the statistics for `name`, if the node is known.
+    pub fn info(&self, name: &str) -> Option<NodeInfo> {
+        self.nodes.lock().get(name).cloned()
+    }
+
+    /// Returns statistics for every node, sorted by name.
+    pub fn infos(&self) -> Vec<NodeInfo> {
+        let mut infos: Vec<NodeInfo> = self.nodes.lock().values().cloned().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Total number of steps recorded across all nodes.
+    pub fn total_steps(&self) -> u64 {
+        self.nodes.lock().values().map(|info| info.steps).sum()
+    }
+
+    /// Total number of crashes recorded across all nodes.
+    pub fn total_crashes(&self) -> u64 {
+        self.nodes.lock().values().map(|info| info.crashes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_node_is_none() {
+        assert!(Registry::new().info("ghost").is_none());
+    }
+
+    #[test]
+    fn steps_and_crashes_accumulate() {
+        let registry = Registry::new();
+        registry.record_step("pid");
+        registry.record_step("pid");
+        registry.record_crash("pid");
+        let info = registry.info("pid").unwrap();
+        assert_eq!(info.steps, 2);
+        assert_eq!(info.crashes, 1);
+        assert_eq!(info.restarts, 1);
+        assert_eq!(registry.total_steps(), 2);
+        assert_eq!(registry.total_crashes(), 1);
+    }
+
+    #[test]
+    fn infos_are_sorted() {
+        let registry = Registry::new();
+        registry.record_step("zeta");
+        registry.record_step("alpha");
+        let names: Vec<String> = registry.infos().into_iter().map(|info| info.name).collect();
+        assert_eq!(names, vec!["alpha".to_owned(), "zeta".to_owned()]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let registry = Registry::new();
+        registry.clone().record_step("shared");
+        assert_eq!(registry.info("shared").unwrap().steps, 1);
+    }
+}

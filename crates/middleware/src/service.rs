@@ -1,0 +1,192 @@
+//! One-to-one request/response services, the ROS `service` analogue.
+
+use std::any::{Any, TypeId};
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::error::MiddlewareError;
+use crate::message::Message;
+use crate::topic::Bus;
+
+type ErasedHandler = Box<dyn FnMut(Box<dyn Any>) -> Box<dyn Any> + Send>;
+
+pub(crate) struct ServiceEntry {
+    pub(crate) request_type: TypeId,
+    pub(crate) response_type: TypeId,
+    pub(crate) handler: ErasedHandler,
+    pub(crate) call_count: u64,
+}
+
+/// Handle returned when a service is advertised; exposes call statistics.
+#[derive(Debug, Clone)]
+pub struct ServiceServer {
+    bus: Bus,
+    name: String,
+}
+
+impl ServiceServer {
+    /// Name the service was advertised under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of calls handled so far.
+    pub fn call_count(&self) -> u64 {
+        self.bus.services().lock().get(&self.name).map_or(0, |entry| entry.call_count)
+    }
+}
+
+/// Typed client handle for calling a service repeatedly without re-checking
+/// its name.
+pub struct ServiceClient<Req, Resp> {
+    bus: Bus,
+    name: String,
+    _marker: PhantomData<fn(Req) -> Resp>,
+}
+
+impl<Req, Resp> fmt::Debug for ServiceClient<Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceClient").field("service", &self.name).finish()
+    }
+}
+
+impl<Req: Message, Resp: Message> ServiceClient<Req, Resp> {
+    /// Calls the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::NoSuchService`] when no server is
+    /// registered and [`MiddlewareError::ServiceTypeMismatch`] when the
+    /// request/response types differ from the server's.
+    pub fn call(&self, request: Req) -> Result<Resp, MiddlewareError> {
+        self.bus.call_service(&self.name, request)
+    }
+
+    /// Name of the target service.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Bus {
+    /// Registers a service handler under `name`, replacing any previous
+    /// server for that name (as a restarted ROS node would).
+    pub fn advertise_service<Req, Resp, F>(&self, name: &str, mut handler: F) -> ServiceServer
+    where
+        Req: Message,
+        Resp: Message,
+        F: FnMut(Req) -> Resp + Send + 'static,
+    {
+        let erased: ErasedHandler = Box::new(move |request: Box<dyn Any>| {
+            let request = request.downcast::<Req>().expect("request type validated by caller");
+            Box::new(handler(*request)) as Box<dyn Any>
+        });
+        self.services().lock().insert(
+            name.to_owned(),
+            ServiceEntry {
+                request_type: TypeId::of::<Req>(),
+                response_type: TypeId::of::<Resp>(),
+                handler: erased,
+                call_count: 0,
+            },
+        );
+        ServiceServer { bus: self.clone(), name: name.to_owned() }
+    }
+
+    /// Creates a typed client for the service `name`.  The service does not
+    /// need to exist yet; existence is checked on every call.
+    pub fn service_client<Req: Message, Resp: Message>(&self, name: &str) -> ServiceClient<Req, Resp> {
+        ServiceClient { bus: self.clone(), name: name.to_owned(), _marker: PhantomData }
+    }
+
+    /// Calls the service `name` synchronously.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::NoSuchService`] when no server is
+    /// registered and [`MiddlewareError::ServiceTypeMismatch`] when the
+    /// request/response types differ from the server's.
+    pub fn call_service<Req: Message, Resp: Message>(
+        &self,
+        name: &str,
+        request: Req,
+    ) -> Result<Resp, MiddlewareError> {
+        let mut services = self.services().lock();
+        let entry = services
+            .get_mut(name)
+            .ok_or_else(|| MiddlewareError::NoSuchService { service: name.to_owned() })?;
+        if entry.request_type != TypeId::of::<Req>() || entry.response_type != TypeId::of::<Resp>() {
+            return Err(MiddlewareError::ServiceTypeMismatch { service: name.to_owned() });
+        }
+        entry.call_count += 1;
+        let response = (entry.handler)(Box::new(request));
+        let response = response.downcast::<Resp>().expect("response type validated above");
+        Ok(*response)
+    }
+
+    /// Returns `true` if a server is currently registered for `name`.
+    pub fn has_service(&self, name: &str) -> bool {
+        self.services().lock().contains_key(name)
+    }
+
+    /// Names of every registered service, sorted.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services().lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_roundtrip() {
+        let bus = Bus::new();
+        let server = bus.advertise_service::<u32, u32, _>("double", |x| x * 2);
+        let result: u32 = bus.call_service("double", 21u32).unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(server.call_count(), 1);
+        assert_eq!(server.name(), "double");
+    }
+
+    #[test]
+    fn missing_service_is_an_error() {
+        let bus = Bus::new();
+        let err = bus.call_service::<u32, u32>("absent", 1).unwrap_err();
+        assert_eq!(err, MiddlewareError::NoSuchService { service: "absent".into() });
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let bus = Bus::new();
+        let _server = bus.advertise_service::<u32, u32, _>("id", |x| x);
+        let err = bus.call_service::<f64, u32>("id", 1.0).unwrap_err();
+        assert_eq!(err, MiddlewareError::ServiceTypeMismatch { service: "id".into() });
+    }
+
+    #[test]
+    fn client_handle_calls_repeatedly() {
+        let bus = Bus::new();
+        let mut total = 0u32;
+        bus.advertise_service::<u32, u32, _>("accumulate", move |x| {
+            total += x;
+            total
+        });
+        let client = bus.service_client::<u32, u32>("accumulate");
+        assert_eq!(client.call(2).unwrap(), 2);
+        assert_eq!(client.call(3).unwrap(), 5);
+        assert_eq!(client.name(), "accumulate");
+    }
+
+    #[test]
+    fn readvertising_replaces_handler() {
+        let bus = Bus::new();
+        bus.advertise_service::<u32, u32, _>("f", |x| x + 1);
+        bus.advertise_service::<u32, u32, _>("f", |x| x + 100);
+        assert_eq!(bus.call_service::<u32, u32>("f", 1).unwrap(), 101);
+        assert!(bus.has_service("f"));
+        assert_eq!(bus.service_names(), vec!["f".to_owned()]);
+    }
+}

@@ -1,0 +1,485 @@
+//! The typed publish/subscribe bus: topics, publishers, subscribers and
+//! in-flight message interceptors.
+
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+use crate::error::MiddlewareError;
+use crate::message::Message;
+use crate::record::Recorder;
+
+/// Default bounded queue depth per subscriber, mirroring a typical ROS
+/// `queue_size`.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Mutating hook applied to every message on a topic between publication and
+/// delivery.  This is the attachment point used by the fault injector.
+type Interceptor<T> = Box<dyn FnMut(&mut T) + Send>;
+
+struct SubscriberQueue<T> {
+    queue: VecDeque<T>,
+    latest: Option<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> SubscriberQueue<T> {
+    fn new(capacity: usize) -> Self {
+        Self { queue: VecDeque::new(), latest: None, capacity, dropped: 0 }
+    }
+}
+
+struct TopicChannel<T> {
+    subscribers: Vec<Arc<Mutex<SubscriberQueue<T>>>>,
+    interceptors: Vec<Interceptor<T>>,
+}
+
+impl<T> TopicChannel<T> {
+    fn new() -> Self {
+        Self { subscribers: Vec::new(), interceptors: Vec::new() }
+    }
+}
+
+struct TopicEntry {
+    type_id: TypeId,
+    type_name: &'static str,
+    publish_count: u64,
+    channel: Box<dyn Any + Send>,
+}
+
+#[derive(Default)]
+struct BusInner {
+    topics: Mutex<HashMap<String, TopicEntry>>,
+    services: Mutex<HashMap<String, crate::service::ServiceEntry>>,
+    recorder: Mutex<Option<Recorder>>,
+}
+
+/// The central message bus: a deterministic, in-process stand-in for the ROS
+/// topic graph.
+///
+/// A `Bus` is cheap to clone; clones share the same topic table, service
+/// table, clock and recorder.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_middleware::Bus;
+///
+/// let bus = Bus::new();
+/// let tx = bus.advertise::<Vec<f64>>("point_cloud");
+/// let rx = bus.subscribe::<Vec<f64>>("point_cloud");
+/// tx.publish(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(rx.try_recv(), Some(vec![1.0, 2.0, 3.0]));
+/// ```
+#[derive(Clone, Default)]
+pub struct Bus {
+    inner: Arc<BusInner>,
+    clock: SimClock,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus")
+            .field("topics", &self.topic_names())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus with a fresh clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bus driven by an existing simulated clock.
+    pub fn with_clock(clock: SimClock) -> Self {
+        Self { inner: Arc::new(BusInner::default()), clock }
+    }
+
+    /// Returns a handle to the bus clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Attaches a recorder that captures every subsequent publication.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.inner.recorder.lock() = Some(recorder);
+    }
+
+    /// Removes the active recorder, if any, and returns it.
+    pub fn take_recorder(&self) -> Option<Recorder> {
+        self.inner.recorder.lock().take()
+    }
+
+    /// Creates a publisher for `topic`, registering the topic on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` already exists with a different message type; use
+    /// [`Bus::try_advertise`] to handle that case gracefully.
+    pub fn advertise<T: Message>(&self, topic: &str) -> Publisher<T> {
+        self.try_advertise(topic).expect("topic advertised with mismatched message type")
+    }
+
+    /// Fallible variant of [`Bus::advertise`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::TopicTypeMismatch`] if the topic exists
+    /// with a different message type.
+    pub fn try_advertise<T: Message>(&self, topic: &str) -> Result<Publisher<T>, MiddlewareError> {
+        self.ensure_topic::<T>(topic)?;
+        Ok(Publisher { bus: self.clone(), topic: topic.to_owned(), _marker: PhantomData })
+    }
+
+    /// Creates a subscriber on `topic` with the default queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` already exists with a different message type; use
+    /// [`Bus::try_subscribe`] to handle that case gracefully.
+    pub fn subscribe<T: Message>(&self, topic: &str) -> Subscriber<T> {
+        self.try_subscribe(topic).expect("topic subscribed with mismatched message type")
+    }
+
+    /// Fallible variant of [`Bus::subscribe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::TopicTypeMismatch`] if the topic exists
+    /// with a different message type.
+    pub fn try_subscribe<T: Message>(&self, topic: &str) -> Result<Subscriber<T>, MiddlewareError> {
+        self.try_subscribe_with_capacity(topic, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Creates a subscriber with an explicit bounded queue capacity.  When
+    /// the queue is full the oldest message is dropped, as with a ROS
+    /// `queue_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::TopicTypeMismatch`] if the topic exists
+    /// with a different message type.
+    pub fn try_subscribe_with_capacity<T: Message>(
+        &self,
+        topic: &str,
+        capacity: usize,
+    ) -> Result<Subscriber<T>, MiddlewareError> {
+        self.ensure_topic::<T>(topic)?;
+        let queue = Arc::new(Mutex::new(SubscriberQueue::new(capacity.max(1))));
+        let mut topics = self.inner.topics.lock();
+        let entry = topics.get_mut(topic).expect("topic just ensured");
+        let channel = entry
+            .channel
+            .downcast_mut::<TopicChannel<T>>()
+            .expect("type id already validated");
+        channel.subscribers.push(Arc::clone(&queue));
+        Ok(Subscriber { queue, topic: topic.to_owned() })
+    }
+
+    /// Registers an interceptor that may mutate every message published on
+    /// `topic` before delivery.  Interceptors run in registration order.
+    ///
+    /// This is the hook the MAVFI fault injector uses to corrupt inter-kernel
+    /// states in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::TopicTypeMismatch`] if the topic exists
+    /// with a different message type.
+    pub fn add_interceptor<T, F>(&self, topic: &str, interceptor: F) -> Result<(), MiddlewareError>
+    where
+        T: Message,
+        F: FnMut(&mut T) + Send + 'static,
+    {
+        self.ensure_topic::<T>(topic)?;
+        let mut topics = self.inner.topics.lock();
+        let entry = topics.get_mut(topic).expect("topic just ensured");
+        let channel = entry
+            .channel
+            .downcast_mut::<TopicChannel<T>>()
+            .expect("type id already validated");
+        channel.interceptors.push(Box::new(interceptor));
+        Ok(())
+    }
+
+    /// Removes every interceptor registered on `topic`.  Unknown topics are
+    /// ignored.
+    pub fn clear_interceptors<T: Message>(&self, topic: &str) {
+        let mut topics = self.inner.topics.lock();
+        if let Some(entry) = topics.get_mut(topic) {
+            if let Some(channel) = entry.channel.downcast_mut::<TopicChannel<T>>() {
+                channel.interceptors.clear();
+            }
+        }
+    }
+
+    /// Number of messages published on `topic` since bus creation.
+    pub fn publish_count(&self, topic: &str) -> u64 {
+        self.inner.topics.lock().get(topic).map_or(0, |entry| entry.publish_count)
+    }
+
+    /// Names of every advertised or subscribed topic, sorted.
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registered message type name for `topic`, if the topic exists.
+    pub fn topic_type_name(&self, topic: &str) -> Option<&'static str> {
+        self.inner.topics.lock().get(topic).map(|entry| entry.type_name)
+    }
+
+    pub(crate) fn services(&self) -> &Mutex<HashMap<String, crate::service::ServiceEntry>> {
+        &self.inner.services
+    }
+
+    fn ensure_topic<T: Message>(&self, topic: &str) -> Result<(), MiddlewareError> {
+        let mut topics = self.inner.topics.lock();
+        match topics.get(topic) {
+            Some(entry) if entry.type_id == TypeId::of::<T>() => Ok(()),
+            Some(_) => Err(MiddlewareError::TopicTypeMismatch { topic: topic.to_owned() }),
+            None => {
+                topics.insert(
+                    topic.to_owned(),
+                    TopicEntry {
+                        type_id: TypeId::of::<T>(),
+                        type_name: std::any::type_name::<T>(),
+                        publish_count: 0,
+                        channel: Box::new(TopicChannel::<T>::new()),
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn publish_inner<T: Message>(&self, topic: &str, mut message: T) -> usize {
+        let delivered;
+        {
+            let mut topics = self.inner.topics.lock();
+            let entry = match topics.get_mut(topic) {
+                Some(entry) if entry.type_id == TypeId::of::<T>() => entry,
+                _ => return 0,
+            };
+            entry.publish_count += 1;
+            let channel = entry
+                .channel
+                .downcast_mut::<TopicChannel<T>>()
+                .expect("type id already validated");
+            for interceptor in channel.interceptors.iter_mut() {
+                interceptor(&mut message);
+            }
+            delivered = channel.subscribers.len();
+            for subscriber in &channel.subscribers {
+                let mut queue = subscriber.lock();
+                if queue.queue.len() >= queue.capacity {
+                    queue.queue.pop_front();
+                    queue.dropped += 1;
+                }
+                queue.queue.push_back(message.clone());
+                queue.latest = Some(message.clone());
+            }
+        }
+        if let Some(recorder) = self.inner.recorder.lock().as_ref() {
+            recorder.record(topic, self.clock.now(), format!("{message:?}"));
+        }
+        delivered
+    }
+}
+
+/// Typed handle for publishing messages on one topic.
+///
+/// Created by [`Bus::advertise`].  Cloning is cheap and publishes to the same
+/// topic.
+pub struct Publisher<T: Message> {
+    bus: Bus,
+    topic: String,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T: Message> Clone for Publisher<T> {
+    fn clone(&self) -> Self {
+        Self { bus: self.bus.clone(), topic: self.topic.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T: Message> fmt::Debug for Publisher<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Publisher")
+            .field("topic", &self.topic)
+            .field("message_type", &std::any::type_name::<T>())
+            .finish()
+    }
+}
+
+impl<T: Message> Publisher<T> {
+    /// Publishes one message, returning the number of subscribers it was
+    /// delivered to (after interceptors ran).
+    pub fn publish(&self, message: T) -> usize {
+        self.bus.publish_inner(&self.topic, message)
+    }
+
+    /// The topic this publisher writes to.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+}
+
+/// Typed handle for receiving messages from one topic.
+///
+/// Created by [`Bus::subscribe`].  Each subscriber owns an independent
+/// bounded queue; slow subscribers drop their oldest messages.
+pub struct Subscriber<T: Message> {
+    queue: Arc<Mutex<SubscriberQueue<T>>>,
+    topic: String,
+}
+
+impl<T: Message> fmt::Debug for Subscriber<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscriber")
+            .field("topic", &self.topic)
+            .field("queued", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Message> Subscriber<T> {
+    /// Pops the oldest queued message, if any.
+    pub fn try_recv(&self) -> Option<T> {
+        self.queue.lock().queue.pop_front()
+    }
+
+    /// Drains every queued message in arrival order.
+    pub fn drain(&self) -> Vec<T> {
+        self.queue.lock().queue.drain(..).collect()
+    }
+
+    /// Returns a clone of the most recently delivered message without
+    /// consuming the queue.  This mirrors latched "latest value" access that
+    /// control loops use.
+    pub fn latest(&self) -> Option<T> {
+        self.queue.lock().latest.clone()
+    }
+
+    /// Number of currently queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.lock().queue.len()
+    }
+
+    /// Returns `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of messages dropped because the bounded queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.queue.lock().dropped
+    }
+
+    /// The topic this subscriber reads from.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_without_subscribers_is_counted() {
+        let bus = Bus::new();
+        let publisher = bus.advertise::<u32>("lonely");
+        assert_eq!(publisher.publish(1), 0);
+        assert_eq!(bus.publish_count("lonely"), 1);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_receive_a_copy() {
+        let bus = Bus::new();
+        let publisher = bus.advertise::<String>("chat");
+        let first = bus.subscribe::<String>("chat");
+        let second = bus.subscribe::<String>("chat");
+        assert_eq!(publisher.publish("hello".to_owned()), 2);
+        assert_eq!(first.try_recv().as_deref(), Some("hello"));
+        assert_eq!(second.try_recv().as_deref(), Some("hello"));
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let bus = Bus::new();
+        let _tx = bus.advertise::<u32>("count");
+        let err = bus.try_subscribe::<f64>("count").unwrap_err();
+        assert_eq!(err, MiddlewareError::TopicTypeMismatch { topic: "count".into() });
+    }
+
+    #[test]
+    fn interceptor_mutates_in_flight_messages() {
+        let bus = Bus::new();
+        let publisher = bus.advertise::<f64>("velocity");
+        let subscriber = bus.subscribe::<f64>("velocity");
+        bus.add_interceptor::<f64, _>("velocity", |value| *value *= -1.0).unwrap();
+        publisher.publish(3.5);
+        assert_eq!(subscriber.try_recv(), Some(-3.5));
+        bus.clear_interceptors::<f64>("velocity");
+        publisher.publish(3.5);
+        assert_eq!(subscriber.try_recv(), Some(3.5));
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest() {
+        let bus = Bus::new();
+        let publisher = bus.advertise::<u32>("burst");
+        let subscriber = bus.try_subscribe_with_capacity::<u32>("burst", 2).unwrap();
+        for value in 0..5 {
+            publisher.publish(value);
+        }
+        assert_eq!(subscriber.len(), 2);
+        assert_eq!(subscriber.dropped(), 3);
+        assert_eq!(subscriber.drain(), vec![3, 4]);
+        assert_eq!(subscriber.latest(), Some(4));
+    }
+
+    #[test]
+    fn latest_survives_drain() {
+        let bus = Bus::new();
+        let publisher = bus.advertise::<u32>("state");
+        let subscriber = bus.subscribe::<u32>("state");
+        publisher.publish(9);
+        let _ = subscriber.drain();
+        assert_eq!(subscriber.latest(), Some(9));
+        assert!(subscriber.is_empty());
+    }
+
+    #[test]
+    fn topic_names_are_sorted_and_typed() {
+        let bus = Bus::new();
+        let _b = bus.advertise::<u32>("b");
+        let _a = bus.advertise::<f32>("a");
+        assert_eq!(bus.topic_names(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(bus.topic_type_name("a"), Some(std::any::type_name::<f32>()));
+        assert_eq!(bus.topic_type_name("missing"), None);
+    }
+
+    #[test]
+    fn recorder_captures_publications() {
+        let bus = Bus::new();
+        let recorder = Recorder::new();
+        bus.set_recorder(recorder.clone());
+        bus.advertise::<u8>("beat").publish(1);
+        bus.advertise::<u8>("beat").publish(2);
+        assert_eq!(recorder.count_for_topic("beat"), 2);
+        assert!(bus.take_recorder().is_some());
+        bus.advertise::<u8>("beat").publish(3);
+        assert_eq!(recorder.count_for_topic("beat"), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Loss functions used during training.
+
+/// Mean squared error between a prediction and a target.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_nn::loss::mse;
+///
+/// assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+/// ```
+pub fn mse(prediction: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(prediction.len(), target.len(), "prediction and target must have equal length");
+    assert!(!prediction.is_empty(), "loss of an empty vector is undefined");
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / prediction.len() as f64
+}
+
+/// Gradient of [`mse`] with respect to the prediction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse_gradient(prediction: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(prediction.len(), target.len(), "prediction and target must have equal length");
+    assert!(!prediction.is_empty(), "loss of an empty vector is undefined");
+    let scale = 2.0 / prediction.len() as f64;
+    prediction.iter().zip(target).map(|(p, t)| scale * (p - t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_for_identical_vectors() {
+        assert_eq!(mse(&[1.0, -2.0, 3.0], &[1.0, -2.0, 3.0]), 0.0);
+        assert!(mse_gradient(&[1.0, 2.0], &[1.0, 2.0]).iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let prediction = vec![0.3, -0.8, 1.2];
+        let target = vec![0.1, 0.0, 1.0];
+        let grad = mse_gradient(&prediction, &target);
+        let eps = 1e-6;
+        for i in 0..prediction.len() {
+            let mut plus = prediction.clone();
+            plus[i] += eps;
+            let mut minus = prediction.clone();
+            minus[i] -= eps;
+            let numeric = (mse(&plus, &target) - mse(&minus, &target)) / (2.0 * eps);
+            assert!((numeric - grad[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

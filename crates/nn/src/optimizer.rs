@@ -1,0 +1,172 @@
+//! Gradient-descent optimizers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{Gradients, Mlp};
+use crate::tensor::Matrix;
+
+/// An optimizer updates network parameters from gradients.
+pub trait Optimizer {
+    /// Applies one update step to `network` using `gradients`.
+    fn step(&mut self, network: &mut Mlp, gradients: &Gradients);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, network: &mut Mlp, gradients: &Gradients) {
+        for (layer, grads) in network.layers_mut().iter_mut().zip(&gradients.layers) {
+            for (w, g) in layer.weights_mut().as_mut_slice().iter_mut().zip(grads.weights.as_slice()) {
+                *w -= self.learning_rate * g;
+            }
+            for (b, g) in layer.biases_mut().iter_mut().zip(&grads.biases) {
+                *b -= self.learning_rate * g;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct AdamSlot {
+    m_weights: Matrix,
+    v_weights: Matrix,
+    m_biases: Vec<f64>,
+    v_biases: Vec<f64>,
+}
+
+/// The Adam optimizer (Kingma & Ba), used by the paper to train the
+/// autoencoder's reconstruction error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay rate of the first moment.
+    pub beta1: f64,
+    /// Exponential decay rate of the second moment.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub epsilon: f64,
+    timestep: u64,
+    slots: Vec<AdamSlot>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the conventional defaults
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`).
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, timestep: 0, slots: Vec::new() }
+    }
+
+    fn ensure_slots(&mut self, network: &Mlp) {
+        if self.slots.len() == network.layers().len() {
+            return;
+        }
+        self.slots = network
+            .layers()
+            .iter()
+            .map(|layer| AdamSlot {
+                m_weights: Matrix::zeros(layer.output_dim(), layer.input_dim()),
+                v_weights: Matrix::zeros(layer.output_dim(), layer.input_dim()),
+                m_biases: vec![0.0; layer.output_dim()],
+                v_biases: vec![0.0; layer.output_dim()],
+            })
+            .collect();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, network: &mut Mlp, gradients: &Gradients) {
+        self.ensure_slots(network);
+        self.timestep += 1;
+        let t = self.timestep as f64;
+        let bias_correction1 = 1.0 - self.beta1.powf(t);
+        let bias_correction2 = 1.0 - self.beta2.powf(t);
+
+        for ((layer, grads), slot) in
+            network.layers_mut().iter_mut().zip(&gradients.layers).zip(&mut self.slots)
+        {
+            let weights = layer.weights_mut().as_mut_slice();
+            let grad_weights = grads.weights.as_slice();
+            let m = slot.m_weights.as_mut_slice();
+            let v = slot.v_weights.as_mut_slice();
+            for i in 0..weights.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad_weights[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad_weights[i] * grad_weights[i];
+                let m_hat = m[i] / bias_correction1;
+                let v_hat = v[i] / bias_correction2;
+                weights[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            let biases = layer.biases_mut();
+            for i in 0..biases.len() {
+                let g = grads.biases[i];
+                slot.m_biases[i] = self.beta1 * slot.m_biases[i] + (1.0 - self.beta1) * g;
+                slot.v_biases[i] = self.beta2 * slot.v_biases[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = slot.m_biases[i] / bias_correction1;
+                let v_hat = slot.v_biases[i] / bias_correction2;
+                biases[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    fn tiny_network(seed: u64) -> Mlp {
+        Mlp::builder(2).layer(4, Activation::Tanh).layer(2, Activation::Identity).build(seed)
+    }
+
+    fn train<O: Optimizer>(mut network: Mlp, optimizer: &mut O, steps: usize) -> f64 {
+        let samples = [([0.0, 0.0], [0.0, 0.0]), ([1.0, 0.0], [0.0, 1.0]), ([0.0, 1.0], [1.0, 0.0])];
+        let mut last = f64::INFINITY;
+        for _ in 0..steps {
+            let mut total = 0.0;
+            for (input, target) in &samples {
+                let (loss, grads) = network.loss_and_gradients(input, target);
+                optimizer.step(&mut network, &grads);
+                total += loss;
+            }
+            last = total / samples.len() as f64;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let network = tiny_network(1);
+        let initial = {
+            let n = network.clone();
+            let (loss, _) = n.loss_and_gradients(&[1.0, 0.0], &[0.0, 1.0]);
+            loss
+        };
+        let final_loss = train(network, &mut Sgd::new(0.1), 200);
+        assert!(final_loss < initial, "SGD should reduce the loss ({final_loss} >= {initial})");
+    }
+
+    #[test]
+    fn adam_converges_faster_than_sgd_on_this_problem() {
+        let sgd_loss = train(tiny_network(2), &mut Sgd::new(0.01), 100);
+        let adam_loss = train(tiny_network(2), &mut Adam::new(0.01), 100);
+        assert!(adam_loss < sgd_loss, "Adam ({adam_loss}) should beat small-step SGD ({sgd_loss})");
+    }
+
+    #[test]
+    fn adam_reaches_low_loss() {
+        let loss = train(tiny_network(3), &mut Adam::new(0.02), 500);
+        assert!(loss < 1e-2, "Adam should fit the toy dataset, got {loss}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Saving and loading trained models as JSON.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Errors raised when persisting or restoring a model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The stored document could not be (de)serialized.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "model file i/o failed: {err}"),
+            Self::Format(err) => write!(f, "model serialization failed: {err}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Format(err) => Some(err),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(err: serde_json::Error) -> Self {
+        Self::Format(err)
+    }
+}
+
+/// Serializes any serde-serialisable model to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] if serialization fails.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, PersistError> {
+    Ok(serde_json::to_string_pretty(value)?)
+}
+
+/// Deserializes a model from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] if the document is malformed.
+pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, PersistError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a model to `path` as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures and
+/// [`PersistError::Format`] on serialization failures.
+pub fn save_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = to_json(value)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a model previously written with [`save_json`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures and
+/// [`PersistError::Format`] on deserialization failures.
+pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, PersistError> {
+    let json = fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::Autoencoder;
+
+    /// The JSON layer may lose the last bit of a double, so round-trips are
+    /// compared behaviourally (reconstruction outputs) with a tolerance.
+    fn assert_models_close(a: &Autoencoder, b: &Autoencoder, input: &[f64]) {
+        let out_a = a.reconstruct(input);
+        let out_b = b.reconstruct(input);
+        assert_eq!(out_a.len(), out_b.len());
+        for (x, y) in out_a.iter().zip(&out_b) {
+            assert!((x - y).abs() < 1e-9, "reconstruction drifted after round-trip: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_model() {
+        let model = Autoencoder::paper_architecture(5);
+        let json = to_json(&model).unwrap();
+        let restored: Autoencoder = from_json(&json).unwrap();
+        assert_eq!(restored.input_dim(), model.input_dim());
+        assert_eq!(restored.latent_dim(), model.latent_dim());
+        assert_models_close(&model, &restored, &vec![0.25; 13]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mavfi_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = Autoencoder::new(4, &[2], 1);
+        save_json(&model, &path).unwrap();
+        let restored: Autoencoder = load_json(&path).unwrap();
+        assert_models_close(&model, &restored, &[0.1, -0.2, 0.3, -0.4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let result: Result<Autoencoder, _> = from_json("{not json");
+        assert!(matches!(result.unwrap_err(), PersistError::Format(_)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let result: Result<Autoencoder, _> = load_json("/nonexistent/dir/model.json");
+        assert!(matches!(result.unwrap_err(), PersistError::Io(_)));
+    }
+}

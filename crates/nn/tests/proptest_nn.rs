@@ -1,0 +1,101 @@
+//! Property-based tests of the neural-network substrate: forward passes,
+//! gradients and serialisation.
+
+use mavfi_nn::autoencoder::Autoencoder;
+use mavfi_nn::network::Mlp;
+use mavfi_nn::serialize::{from_json, to_json};
+use mavfi_nn::Activation;
+use proptest::prelude::*;
+
+fn finite_inputs(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, dim)
+}
+
+proptest! {
+    /// Forward passes produce finite outputs of the declared dimension.
+    #[test]
+    fn mlp_forward_has_declared_shape(input in finite_inputs(5), seed in any::<u64>()) {
+        let network = Mlp::builder(5)
+            .layer(4, Activation::Tanh)
+            .layer(3, Activation::Identity)
+            .build(seed);
+        prop_assert_eq!(network.input_dim(), 5);
+        prop_assert_eq!(network.output_dim(), 3);
+        let output = network.forward(&input);
+        prop_assert_eq!(output.len(), 3);
+        prop_assert!(output.iter().all(|v| v.is_finite()));
+    }
+
+    /// The analytic gradients agree with central finite differences.
+    #[test]
+    fn gradients_match_finite_differences(input in finite_inputs(4), seed in any::<u64>()) {
+        let autoencoder = Autoencoder::new(4, &[3, 2], seed);
+        let (_, gradients) = autoencoder.loss_and_gradients(&input);
+        let epsilon = 1e-5;
+        // Check a handful of weights of the first layer.
+        let mut checked = 0;
+        'outer: for row in 0..3 {
+            for col in 0..4 {
+                let mut plus = autoencoder.clone();
+                let mut minus = autoencoder.clone();
+                *plus.network_mut().layers_mut()[0].weights_mut().get_mut(row, col) += epsilon;
+                *minus.network_mut().layers_mut()[0].weights_mut().get_mut(row, col) -= epsilon;
+                let numeric = (plus.reconstruction_error(&input)
+                    - minus.reconstruction_error(&input))
+                    / (2.0 * epsilon);
+                let analytic = gradients.layers[0].weights.get(row, col);
+                let scale = analytic.abs().max(numeric.abs()).max(1e-3);
+                prop_assert!(
+                    (analytic - numeric).abs() / scale < 2e-2,
+                    "({row},{col}): analytic {analytic} vs numeric {numeric}"
+                );
+                checked += 1;
+                if checked >= 4 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    /// Reconstruction errors are non-negative and zero-input reconstruction
+    /// is finite.
+    #[test]
+    fn reconstruction_error_is_non_negative(input in finite_inputs(6), seed in any::<u64>()) {
+        let autoencoder = Autoencoder::new(6, &[4, 2], seed);
+        prop_assert!(autoencoder.reconstruction_error(&input) >= 0.0);
+        let reconstruction = autoencoder.reconstruct(&input);
+        prop_assert_eq!(reconstruction.len(), 6);
+        prop_assert!(reconstruction.iter().all(|v| v.is_finite()));
+    }
+
+    /// JSON serialisation round-trips the model: the restored model produces
+    /// outputs identical up to the JSON float-printing precision.
+    #[test]
+    fn serialization_round_trips(input in finite_inputs(5), seed in any::<u64>()) {
+        let original = Autoencoder::new(5, &[3], seed);
+        let json = to_json(&original).expect("serialise");
+        let restored: Autoencoder = from_json(&json).expect("deserialise");
+        let a = original.reconstruct(&input);
+        let b = restored.reconstruct(&input);
+        prop_assert_eq!(a.len(), b.len());
+        for (left, right) in a.iter().zip(&b) {
+            prop_assert!(
+                (left - right).abs() <= 1e-9 * left.abs().max(1.0),
+                "restored output diverged: {left} vs {right}"
+            );
+        }
+    }
+
+    /// Parameter counts match the dense-layer dimensions.
+    #[test]
+    fn parameter_count_matches_architecture(hidden in 1usize..8, bottleneck in 1usize..8) {
+        let autoencoder = Autoencoder::new(13, &[hidden, bottleneck], 1);
+        let expected: usize = autoencoder
+            .network()
+            .layers()
+            .iter()
+            .map(|layer| layer.input_dim() * layer.output_dim() + layer.output_dim())
+            .sum();
+        prop_assert_eq!(autoencoder.network().parameter_count(), expected);
+    }
+}

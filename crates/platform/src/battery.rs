@@ -1,0 +1,168 @@
+//! Battery endurance model.
+//!
+//! The paper motivates software-level protection by the SWaP limits of micro
+//! aerial vehicles: "UAVs have a strict limit on total flight time due to the
+//! limited onboard battery capacity".  This module turns the
+//! [`FlightEstimate`](crate::perf_model::FlightEstimate) of the visual
+//! performance model into a battery feasibility verdict — whether a mission
+//! flown under a given protection scheme still fits inside the airframe's
+//! usable battery energy, and how much margin remains.
+
+use serde::{Deserialize, Serialize};
+
+use crate::perf_model::FlightEstimate;
+use crate::uav::UavSpec;
+
+/// A battery pack model.
+///
+/// Capacity is expressed in joules of stored electrical energy; the usable
+/// fraction accounts for the depth-of-discharge limit that lithium-polymer
+/// packs are flown with, and the discharge efficiency accounts for losses
+/// between the pack terminals and the motors/ESCs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryModel {
+    /// Total stored energy at full charge (J).
+    pub capacity_j: f64,
+    /// Fraction of the capacity that may be used before the pack must be
+    /// considered empty (depth-of-discharge limit), in `(0, 1]`.
+    pub usable_fraction: f64,
+    /// Electrical efficiency between pack and rotors, in `(0, 1]`.
+    pub discharge_efficiency: f64,
+}
+
+impl BatteryModel {
+    /// Builds a battery model for an airframe using its rated capacity and
+    /// conservative LiPo operating assumptions (80 % depth of discharge,
+    /// 92 % discharge efficiency).
+    pub fn for_uav(uav: &UavSpec) -> Self {
+        Self {
+            capacity_j: uav.battery_capacity_j,
+            usable_fraction: 0.8,
+            discharge_efficiency: 0.92,
+        }
+    }
+
+    /// Energy actually available for flight (J).
+    pub fn usable_energy_j(&self) -> f64 {
+        self.capacity_j * self.usable_fraction * self.discharge_efficiency
+    }
+
+    /// Endurance in seconds at a constant electrical draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w` is not strictly positive.
+    pub fn endurance_s(&self, power_w: f64) -> f64 {
+        assert!(power_w > 0.0, "power draw must be positive");
+        self.usable_energy_j() / power_w
+    }
+
+    /// Assesses whether a mission described by a [`FlightEstimate`] fits in
+    /// the battery, and with what margin.
+    pub fn assess(&self, estimate: &FlightEstimate) -> MissionFeasibility {
+        let usable = self.usable_energy_j();
+        let required = estimate.energy_j;
+        let endurance_s = self.endurance_s(estimate.cruise_power_w.max(1e-9));
+        MissionFeasibility {
+            required_energy_j: required,
+            usable_energy_j: usable,
+            endurance_s,
+            flight_time_s: estimate.flight_time_s,
+            feasible: required <= usable,
+        }
+    }
+}
+
+/// Verdict of checking one mission against one battery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionFeasibility {
+    /// Energy the mission needs (J).
+    pub required_energy_j: f64,
+    /// Energy the battery can deliver (J).
+    pub usable_energy_j: f64,
+    /// Hover-to-empty endurance at the mission's cruise power (s).
+    pub endurance_s: f64,
+    /// Predicted mission flight time (s).
+    pub flight_time_s: f64,
+    /// Whether the mission completes before the battery is exhausted.
+    pub feasible: bool,
+}
+
+impl MissionFeasibility {
+    /// Remaining energy after the mission, as a fraction of the usable
+    /// energy.  Negative when the mission is infeasible.
+    pub fn energy_margin(&self) -> f64 {
+        if self.usable_energy_j <= 0.0 {
+            return -1.0;
+        }
+        (self.usable_energy_j - self.required_energy_j) / self.usable_energy_j
+    }
+
+    /// Remaining flight time after the mission at cruise power (s).
+    /// Negative when the mission is infeasible.
+    pub fn time_margin_s(&self) -> f64 {
+        self.endurance_s - self.flight_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf_model::VisualPerformanceModel;
+    use crate::redundancy::ProtectionScheme;
+    use crate::spec::ComputePlatform;
+
+    #[test]
+    fn usable_energy_is_below_rated_capacity() {
+        let battery = BatteryModel::for_uav(&UavSpec::dji_spark());
+        assert!(battery.usable_energy_j() < battery.capacity_j);
+        assert!(battery.usable_energy_j() > 0.0);
+    }
+
+    #[test]
+    fn endurance_scales_inversely_with_power() {
+        let battery = BatteryModel::for_uav(&UavSpec::airsim_uav());
+        let low = battery.endurance_s(100.0);
+        let high = battery.endurance_s(200.0);
+        assert!((low / high - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_power_endurance_panics() {
+        let battery = BatteryModel::for_uav(&UavSpec::airsim_uav());
+        let _ = battery.endurance_s(0.0);
+    }
+
+    #[test]
+    fn margins_are_consistent_with_feasibility() {
+        let model = VisualPerformanceModel::default();
+        let uav = UavSpec::airsim_uav();
+        let battery = BatteryModel::for_uav(&uav);
+        let estimate =
+            model.evaluate(&uav, &ComputePlatform::i9_9940x(), ProtectionScheme::AnomalyDetection);
+        let verdict = battery.assess(&estimate);
+        assert_eq!(verdict.feasible, verdict.energy_margin() >= 0.0);
+        assert_eq!(verdict.feasible, verdict.time_margin_s() >= 0.0);
+    }
+
+    #[test]
+    fn redundancy_erodes_the_battery_margin() {
+        // The SWaP argument of the paper in battery terms: carrying redundant
+        // companion computers costs mass and power, so the same mission
+        // leaves less energy in the pack than the software scheme does.
+        let model = VisualPerformanceModel::default();
+        let platform = ComputePlatform::cortex_a57();
+        for uav in UavSpec::paper_uavs() {
+            let battery = BatteryModel::for_uav(&uav);
+            let anomaly =
+                battery.assess(&model.evaluate(&uav, &platform, ProtectionScheme::AnomalyDetection));
+            let tmr = battery.assess(&model.evaluate(&uav, &platform, ProtectionScheme::Tmr));
+            assert!(
+                tmr.energy_margin() < anomaly.energy_margin(),
+                "{}: TMR should leave less margin than anomaly detection",
+                uav.name
+            );
+        }
+    }
+}

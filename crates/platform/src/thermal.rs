@@ -1,0 +1,130 @@
+//! Thermal design-power model.
+//!
+//! The paper's Fig. 8 argument is that "hardware redundancy brings higher
+//! compute power with higher thermal design power and weight".  This module
+//! models the thermal side of that argument: a companion-computer enclosure
+//! can continuously dissipate only a limited power, and configurations that
+//! exceed it must throttle — lengthening the pipeline's response time on top
+//! of the mass and power penalties the visual performance model already
+//! charges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::redundancy::ProtectionScheme;
+use crate::spec::ComputePlatform;
+
+/// A thermal envelope for the companion-computer stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalEnvelope {
+    /// Maximum power the enclosure can dissipate continuously (W).
+    pub sustained_dissipation_w: f64,
+    /// Exponent relating the over-budget power ratio to the latency
+    /// multiplier under throttling.  With exponent `1.0`, running at twice
+    /// the dissipation budget doubles kernel latency (DVFS halves the
+    /// clock); larger exponents model super-linear slowdowns.
+    pub throttle_exponent: f64,
+}
+
+impl ThermalEnvelope {
+    /// An envelope representative of a passively cooled embedded carrier
+    /// board (the TX2-class companion computer of the paper).
+    pub fn embedded_carrier() -> Self {
+        Self { sustained_dissipation_w: 20.0, throttle_exponent: 1.0 }
+    }
+
+    /// An envelope representative of an actively cooled desktop-class
+    /// companion computer (the i9 host of the paper's testbed).
+    pub fn actively_cooled() -> Self {
+        Self { sustained_dissipation_w: 220.0, throttle_exponent: 1.0 }
+    }
+
+    /// Total compute power a configuration dissipates (W).
+    pub fn config_power_w(platform: &ComputePlatform, scheme: ProtectionScheme) -> f64 {
+        platform.power_watts * scheme.compute_power_multiplier()
+    }
+
+    /// Whether a configuration stays within the sustained budget.
+    pub fn within_budget(&self, platform: &ComputePlatform, scheme: ProtectionScheme) -> bool {
+        Self::config_power_w(platform, scheme) <= self.sustained_dissipation_w + 1e-9
+    }
+
+    /// Latency multiplier imposed by thermal throttling.
+    ///
+    /// Returns `1.0` when the configuration fits the budget; otherwise the
+    /// multiplier grows with the over-budget ratio raised to
+    /// [`throttle_exponent`](Self::throttle_exponent).
+    pub fn throttle_factor(&self, platform: &ComputePlatform, scheme: ProtectionScheme) -> f64 {
+        let power = Self::config_power_w(platform, scheme);
+        if power <= self.sustained_dissipation_w {
+            1.0
+        } else {
+            (power / self.sustained_dissipation_w).powf(self.throttle_exponent)
+        }
+    }
+
+    /// Effective end-to-end response time (ms) of the pipeline under this
+    /// envelope, given the nominal i9 response time.
+    pub fn effective_response_ms(
+        &self,
+        platform: &ComputePlatform,
+        scheme: ProtectionScheme,
+        nominal_i9_ms: f64,
+    ) -> f64 {
+        platform.response_time_ms(nominal_i9_ms)
+            * (1.0 + scheme.compute_time_overhead())
+            * self.throttle_factor(platform, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_board_embedded_stack_fits_its_envelope() {
+        let envelope = ThermalEnvelope::embedded_carrier();
+        let a57 = ComputePlatform::cortex_a57();
+        assert!(envelope.within_budget(&a57, ProtectionScheme::AnomalyDetection));
+        assert_eq!(envelope.throttle_factor(&a57, ProtectionScheme::AnomalyDetection), 1.0);
+    }
+
+    #[test]
+    fn redundant_boards_blow_the_embedded_envelope_and_throttle() {
+        let envelope = ThermalEnvelope::embedded_carrier();
+        let a57 = ComputePlatform::cortex_a57();
+        assert!(!envelope.within_budget(&a57, ProtectionScheme::Tmr));
+        let dmr = envelope.throttle_factor(&a57, ProtectionScheme::Dmr);
+        let tmr = envelope.throttle_factor(&a57, ProtectionScheme::Tmr);
+        assert!(dmr > 1.0);
+        assert!(tmr > dmr, "TMR dissipates more, so it must throttle harder");
+    }
+
+    #[test]
+    fn active_cooling_absorbs_the_desktop_platform() {
+        let envelope = ThermalEnvelope::actively_cooled();
+        let i9 = ComputePlatform::i9_9940x();
+        assert!(envelope.within_budget(&i9, ProtectionScheme::AnomalyDetection));
+        assert!(!envelope.within_budget(&i9, ProtectionScheme::Tmr));
+    }
+
+    #[test]
+    fn throttling_compounds_with_the_platform_latency_scale() {
+        let envelope = ThermalEnvelope::embedded_carrier();
+        let a57 = ComputePlatform::cortex_a57();
+        let unthrottled = envelope.effective_response_ms(&a57, ProtectionScheme::AnomalyDetection, 400.0);
+        let throttled = envelope.effective_response_ms(&a57, ProtectionScheme::Tmr, 400.0);
+        assert!(unthrottled >= a57.response_time_ms(400.0));
+        assert!(throttled > unthrottled * 2.0, "three throttled boards should be far slower");
+    }
+
+    #[test]
+    fn throttle_exponent_controls_the_penalty() {
+        let a57 = ComputePlatform::cortex_a57();
+        let linear = ThermalEnvelope { sustained_dissipation_w: 20.0, throttle_exponent: 1.0 };
+        let steep = ThermalEnvelope { sustained_dissipation_w: 20.0, throttle_exponent: 2.0 };
+        assert!(
+            steep.throttle_factor(&a57, ProtectionScheme::Tmr)
+                > linear.throttle_factor(&a57, ProtectionScheme::Tmr)
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Control stage: path tracking and PID command issue.
+
+pub mod path_tracking;
+pub mod pid;
+
+pub use path_tracking::{PathTracker, PathTrackerConfig};
+pub use pid::{PidConfig, PidController};

@@ -1,0 +1,321 @@
+//! State estimation / sensor fusion (the "Sensor Fusion" and "Localization"
+//! kernels of the paper's Fig. 1 pipeline overview).
+//!
+//! The closed-loop simulator hands the pipeline the true vehicle state, just
+//! as AirSim does in MAVBench, so localisation is not on the critical path
+//! of the reproduced experiments.  The estimator here exists so that the
+//! perception stage is complete as drawn in the paper: it fuses noisy IMU
+//! accelerations with intermittent, noisy position fixes through a constant
+//! per-axis Kalman filter and exposes the fused state to downstream
+//! consumers and to the fault-injection examples.
+
+use mavfi_sim::geometry::Vec3;
+use mavfi_sim::sensors::ImuSample;
+use serde::{Deserialize, Serialize};
+
+/// Per-axis process/measurement noise configuration of the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Process noise of the constant-velocity model (m/s² standard
+    /// deviation), i.e. how much unmodelled acceleration is expected.
+    pub process_noise: f64,
+    /// Standard deviation of position-fix noise (m).
+    pub position_noise: f64,
+    /// Standard deviation of the IMU acceleration noise (m/s²).
+    pub accel_noise: f64,
+    /// Initial position variance (m²).
+    pub initial_position_variance: f64,
+    /// Initial velocity variance ((m/s)²).
+    pub initial_velocity_variance: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            process_noise: 0.8,
+            position_noise: 0.35,
+            accel_noise: 0.25,
+            initial_position_variance: 4.0,
+            initial_velocity_variance: 1.0,
+        }
+    }
+}
+
+/// One axis of the position/velocity Kalman filter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct AxisFilter {
+    position: f64,
+    velocity: f64,
+    // Covariance of [position, velocity].
+    p00: f64,
+    p01: f64,
+    p11: f64,
+}
+
+impl AxisFilter {
+    fn new(position: f64, config: &EstimatorConfig) -> Self {
+        Self {
+            position,
+            velocity: 0.0,
+            p00: config.initial_position_variance,
+            p01: 0.0,
+            p11: config.initial_velocity_variance,
+        }
+    }
+
+    /// Prediction step: constant-velocity model driven by the measured
+    /// acceleration.
+    fn predict(&mut self, accel: f64, dt: f64, config: &EstimatorConfig) {
+        self.position += self.velocity * dt + 0.5 * accel * dt * dt;
+        self.velocity += accel * dt;
+
+        // P = F P Fᵀ + Q with F = [[1, dt], [0, 1]].
+        let p00 = self.p00 + dt * (self.p01 + self.p01 + dt * self.p11);
+        let p01 = self.p01 + dt * self.p11;
+        let p11 = self.p11;
+        let q = config.process_noise * config.process_noise;
+        let accel_var = config.accel_noise * config.accel_noise;
+        self.p00 = p00 + 0.25 * dt.powi(4) * (q + accel_var);
+        self.p01 = p01 + 0.5 * dt.powi(3) * (q + accel_var);
+        self.p11 = p11 + dt * dt * (q + accel_var);
+    }
+
+    /// Measurement update with a position fix.
+    fn correct(&mut self, measured_position: f64, config: &EstimatorConfig) {
+        let r = config.position_noise * config.position_noise;
+        let innovation = measured_position - self.position;
+        let s = self.p00 + r;
+        if s <= f64::EPSILON {
+            return;
+        }
+        let k0 = self.p00 / s;
+        let k1 = self.p01 / s;
+        self.position += k0 * innovation;
+        self.velocity += k1 * innovation;
+        let p00 = (1.0 - k0) * self.p00;
+        let p01 = (1.0 - k0) * self.p01;
+        let p11 = self.p11 - k1 * self.p01;
+        self.p00 = p00;
+        self.p01 = p01;
+        self.p11 = p11;
+    }
+}
+
+/// The fused state estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateEstimate {
+    /// Estimated position (m).
+    pub position: Vec3,
+    /// Estimated velocity (m/s).
+    pub velocity: Vec3,
+    /// Estimated yaw (rad).
+    pub yaw: f64,
+    /// Scalar position uncertainty: the root of the mean per-axis position
+    /// variance (m).
+    pub position_sigma: f64,
+}
+
+/// Constant-velocity Kalman filter fusing IMU accelerations with noisy
+/// position fixes, plus dead-reckoned yaw.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::perception::localization::{EstimatorConfig, StateEstimator};
+/// use mavfi_sim::geometry::Vec3;
+/// use mavfi_sim::sensors::ImuSample;
+///
+/// let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, EstimatorConfig::default());
+/// let imu = ImuSample { acceleration: Vec3::new(0.5, 0.0, 0.0), yaw_rate: 0.0 };
+/// estimator.predict(&imu, 0.1);
+/// estimator.correct_position(Vec3::new(0.01, 0.0, 0.0));
+/// assert!(estimator.estimate().position.x >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEstimator {
+    config: EstimatorConfig,
+    x: AxisFilter,
+    y: AxisFilter,
+    z: AxisFilter,
+    yaw: f64,
+}
+
+impl StateEstimator {
+    /// Creates an estimator initialised at a known pose.
+    pub fn new(position: Vec3, yaw: f64, config: EstimatorConfig) -> Self {
+        Self {
+            config,
+            x: AxisFilter::new(position.x, &config),
+            y: AxisFilter::new(position.y, &config),
+            z: AxisFilter::new(position.z, &config),
+            yaw,
+        }
+    }
+
+    /// The estimator configuration.
+    pub fn config(&self) -> EstimatorConfig {
+        self.config
+    }
+
+    /// Prediction step driven by one IMU sample over `dt` seconds.
+    /// Non-finite IMU components are treated as zero (a corrupted IMU sample
+    /// must not destroy the filter state).
+    pub fn predict(&mut self, imu: &ImuSample, dt: f64) {
+        if dt <= 0.0 || !dt.is_finite() {
+            return;
+        }
+        let safe = |v: f64| if v.is_finite() { v } else { 0.0 };
+        let config = self.config;
+        self.x.predict(safe(imu.acceleration.x), dt, &config);
+        self.y.predict(safe(imu.acceleration.y), dt, &config);
+        self.z.predict(safe(imu.acceleration.z), dt, &config);
+        self.yaw += safe(imu.yaw_rate) * dt;
+    }
+
+    /// Measurement update with a position fix (e.g. visual-inertial odometry
+    /// or GNSS).  Non-finite fixes are ignored.
+    pub fn correct_position(&mut self, position: Vec3) {
+        if !position.is_finite() {
+            return;
+        }
+        let config = self.config;
+        self.x.correct(position.x, &config);
+        self.y.correct(position.y, &config);
+        self.z.correct(position.z, &config);
+    }
+
+    /// Measurement update with an absolute yaw observation (e.g. from a
+    /// magnetometer); blends rather than replaces.
+    pub fn correct_yaw(&mut self, yaw: f64, weight: f64) {
+        if yaw.is_finite() {
+            let w = weight.clamp(0.0, 1.0);
+            self.yaw = (1.0 - w) * self.yaw + w * yaw;
+        }
+    }
+
+    /// The current fused estimate.
+    pub fn estimate(&self) -> StateEstimate {
+        StateEstimate {
+            position: Vec3::new(self.x.position, self.y.position, self.z.position),
+            velocity: Vec3::new(self.x.velocity, self.y.velocity, self.z.velocity),
+            yaw: self.yaw,
+            position_sigma: ((self.x.p00 + self.y.p00 + self.z.p00) / 3.0).max(0.0).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Simulates a vehicle accelerating then cruising along +X, feeding the
+    /// estimator noisy IMU and position measurements.
+    fn run_tracking(config: EstimatorConfig, fix_every: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dt = 0.1;
+        let mut true_position = Vec3::ZERO;
+        let mut true_velocity = Vec3::ZERO;
+        let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, config);
+        let mut worst_error = 0.0_f64;
+        for step in 0..400 {
+            let accel = if step < 100 { Vec3::new(0.4, 0.1, 0.0) } else { Vec3::ZERO };
+            true_velocity = true_velocity + accel * dt;
+            true_position = true_position + true_velocity * dt;
+
+            let noisy = |std: f64, rng: &mut StdRng| (0..3).map(|_| rng.gen_range(-std..std)).sum::<f64>() / 3.0_f64.sqrt();
+            let imu = ImuSample {
+                acceleration: Vec3::new(
+                    accel.x + noisy(0.2, &mut rng),
+                    accel.y + noisy(0.2, &mut rng),
+                    accel.z + noisy(0.2, &mut rng),
+                ),
+                yaw_rate: 0.0,
+            };
+            estimator.predict(&imu, dt);
+            if step % fix_every == 0 {
+                let fix = Vec3::new(
+                    true_position.x + noisy(0.3, &mut rng),
+                    true_position.y + noisy(0.3, &mut rng),
+                    true_position.z + noisy(0.3, &mut rng),
+                );
+                estimator.correct_position(fix);
+            }
+            if step > 50 {
+                worst_error =
+                    worst_error.max(estimator.estimate().position.distance(true_position));
+            }
+        }
+        let final_error = estimator.estimate().position.distance(true_position);
+        (final_error, worst_error)
+    }
+
+    #[test]
+    fn fused_estimate_tracks_the_true_trajectory() {
+        let (final_error, worst_error) = run_tracking(EstimatorConfig::default(), 5, 1);
+        assert!(final_error < 1.0, "final error {final_error}");
+        assert!(worst_error < 2.0, "worst error {worst_error}");
+    }
+
+    #[test]
+    fn position_fixes_shrink_the_uncertainty() {
+        let config = EstimatorConfig::default();
+        let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, config);
+        let before = estimator.estimate().position_sigma;
+        for _ in 0..10 {
+            estimator.predict(&ImuSample { acceleration: Vec3::ZERO, yaw_rate: 0.0 }, 0.1);
+            estimator.correct_position(Vec3::ZERO);
+        }
+        let after = estimator.estimate().position_sigma;
+        assert!(after < before, "sigma should shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn dead_reckoning_alone_drifts_more_than_fused_estimation() {
+        let fused = run_tracking(EstimatorConfig::default(), 5, 2).0;
+        let dead_reckoned = run_tracking(EstimatorConfig::default(), 100_000, 2).0;
+        assert!(
+            dead_reckoned > fused,
+            "dead reckoning ({dead_reckoned}) should drift more than fused ({fused})"
+        );
+    }
+
+    #[test]
+    fn corrupted_measurements_are_ignored() {
+        let mut estimator = StateEstimator::new(Vec3::new(1.0, 2.0, 3.0), 0.5, EstimatorConfig::default());
+        let clean = estimator.estimate();
+        estimator.predict(
+            &ImuSample { acceleration: Vec3::new(f64::NAN, 0.0, 0.0), yaw_rate: f64::INFINITY },
+            0.1,
+        );
+        estimator.correct_position(Vec3::new(f64::NAN, 0.0, 0.0));
+        let after = estimator.estimate();
+        assert!(after.position.is_finite());
+        assert!(after.yaw.is_finite());
+        assert!((after.position.y - clean.position.y).abs() < 1.0);
+    }
+
+    #[test]
+    fn yaw_integrates_rate_and_blends_absolute_fixes() {
+        let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, EstimatorConfig::default());
+        for _ in 0..10 {
+            estimator.predict(&ImuSample { acceleration: Vec3::ZERO, yaw_rate: 0.2 }, 0.1);
+        }
+        assert!((estimator.estimate().yaw - 0.2).abs() < 1e-9);
+        estimator.correct_yaw(1.0, 0.5);
+        assert!((estimator.estimate().yaw - 0.6).abs() < 1e-9);
+        estimator.correct_yaw(f64::NAN, 0.5);
+        assert!(estimator.estimate().yaw.is_finite());
+    }
+
+    #[test]
+    fn invalid_dt_is_a_no_op() {
+        let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, EstimatorConfig::default());
+        let before = estimator.estimate();
+        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, 0.0);
+        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, -0.5);
+        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, f64::NAN);
+        assert_eq!(estimator.estimate(), before);
+    }
+}

@@ -1,0 +1,12 @@
+//! Perception stage: point-cloud generation, occupancy mapping, collision
+//! checking and state estimation.
+
+pub mod collision_check;
+pub mod localization;
+pub mod occupancy;
+pub mod point_cloud;
+
+pub use collision_check::{CollisionChecker, CollisionCheckerConfig};
+pub use localization::{EstimatorConfig, StateEstimate, StateEstimator};
+pub use occupancy::{OccupancyGrid, VoxelKey};
+pub use point_cloud::PointCloudGenerator;

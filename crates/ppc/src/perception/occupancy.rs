@@ -1,0 +1,259 @@
+//! Voxel occupancy map, the OctoMap stand-in.
+
+use std::collections::HashSet;
+
+use mavfi_sim::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::states::PointCloud;
+
+/// Integer voxel coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VoxelKey {
+    /// Voxel index along X.
+    pub x: i64,
+    /// Voxel index along Y.
+    pub y: i64,
+    /// Voxel index along Z.
+    pub z: i64,
+}
+
+/// A sparse voxel occupancy grid built incrementally from point clouds.
+///
+/// The paper's OctoMap node plays exactly this role: turn point clouds into
+/// a queryable obstacle representation for collision checking and motion
+/// planning.  A hash-set-of-voxels keeps the behaviourally relevant property
+/// (local obstacle queries, incremental updates, bounded resolution) without
+/// the octree machinery.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::perception::OccupancyGrid;
+/// use mavfi_sim::geometry::Vec3;
+///
+/// let mut grid = OccupancyGrid::new(0.5);
+/// grid.insert_point(Vec3::new(1.0, 2.0, 3.0));
+/// assert!(grid.is_occupied(Vec3::new(1.1, 2.1, 3.1)));
+/// assert!(!grid.is_occupied(Vec3::new(5.0, 5.0, 5.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyGrid {
+    resolution: f64,
+    voxels: HashSet<VoxelKey>,
+}
+
+impl OccupancyGrid {
+    /// Creates an empty grid with the given voxel edge length in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not positive and finite.
+    pub fn new(resolution: f64) -> Self {
+        assert!(resolution > 0.0 && resolution.is_finite(), "voxel resolution must be positive");
+        Self { resolution, voxels: HashSet::new() }
+    }
+
+    /// Voxel edge length (m).
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied_count(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// Returns `true` when no voxel is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+
+    /// Converts a world point to its voxel key.
+    pub fn key_for(&self, point: Vec3) -> VoxelKey {
+        VoxelKey {
+            x: (point.x / self.resolution).floor() as i64,
+            y: (point.y / self.resolution).floor() as i64,
+            z: (point.z / self.resolution).floor() as i64,
+        }
+    }
+
+    /// Center of a voxel in world coordinates.
+    pub fn voxel_center(&self, key: VoxelKey) -> Vec3 {
+        Vec3::new(
+            (key.x as f64 + 0.5) * self.resolution,
+            (key.y as f64 + 0.5) * self.resolution,
+            (key.z as f64 + 0.5) * self.resolution,
+        )
+    }
+
+    /// Marks the voxel containing `point` as occupied.  Non-finite points
+    /// are ignored (they cannot be mapped to a voxel).
+    pub fn insert_point(&mut self, point: Vec3) {
+        if point.is_finite() {
+            let key = self.key_for(point);
+            self.voxels.insert(key);
+        }
+    }
+
+    /// Inserts every point of a cloud.
+    pub fn insert_cloud(&mut self, cloud: &PointCloud) {
+        for &point in &cloud.points {
+            self.insert_point(point);
+        }
+    }
+
+    /// Directly sets a voxel's occupancy (used by kernel-level fault
+    /// injection to flip voxels, and by recovery to undo it).  Returns the
+    /// previous occupancy.
+    pub fn set_voxel(&mut self, key: VoxelKey, occupied: bool) -> bool {
+        if occupied {
+            !self.voxels.insert(key)
+        } else {
+            self.voxels.remove(&key)
+        }
+    }
+
+    /// Returns `true` if the voxel containing `point` is occupied.
+    pub fn is_occupied(&self, point: Vec3) -> bool {
+        point.is_finite() && self.voxels.contains(&self.key_for(point))
+    }
+
+    /// Returns `true` if any voxel within `margin` meters of `point` is
+    /// occupied (a cheap obstacle-inflation query).
+    pub fn is_occupied_near(&self, point: Vec3, margin: f64) -> bool {
+        if !point.is_finite() {
+            return false;
+        }
+        let steps = (margin / self.resolution).ceil() as i64;
+        let center = self.key_for(point);
+        for dx in -steps..=steps {
+            for dy in -steps..=steps {
+                for dz in -steps..=steps {
+                    let key = VoxelKey { x: center.x + dx, y: center.y + dy, z: center.z + dz };
+                    if self.voxels.contains(&key)
+                        && self.voxel_center(key).distance(point) <= margin + self.resolution
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if the straight segment from `a` to `b`, inflated by
+    /// `margin`, touches no occupied voxel.
+    pub fn segment_free(&self, a: Vec3, b: Vec3, margin: f64) -> bool {
+        if self.voxels.is_empty() {
+            return true;
+        }
+        let length = a.distance(b);
+        let step = (self.resolution * 0.5).max(1e-3);
+        let count = (length / step).ceil() as usize;
+        for i in 0..=count {
+            let t = if count == 0 { 0.0 } else { i as f64 / count as f64 };
+            let sample = a.lerp(b, t);
+            if self.is_occupied_near(sample, margin) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over the occupied voxel keys in an arbitrary but stable
+    /// order within one program run.
+    pub fn occupied_voxels(&self) -> impl Iterator<Item = VoxelKey> + '_ {
+        self.voxels.iter().copied()
+    }
+
+    /// Removes every voxel.
+    pub fn clear(&mut self) {
+        self.voxels.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query_roundtrip() {
+        let mut grid = OccupancyGrid::new(0.5);
+        assert!(grid.is_empty());
+        grid.insert_point(Vec3::new(0.9, 0.9, 0.9));
+        assert_eq!(grid.occupied_count(), 1);
+        assert!(grid.is_occupied(Vec3::new(0.6, 0.7, 0.8)));
+        assert!(!grid.is_occupied(Vec3::new(1.1, 0.7, 0.8)));
+    }
+
+    #[test]
+    fn cloud_insertion_deduplicates_voxels() {
+        let mut grid = OccupancyGrid::new(1.0);
+        let cloud = PointCloud::new(vec![
+            Vec3::new(0.1, 0.1, 0.1),
+            Vec3::new(0.9, 0.9, 0.9),
+            Vec3::new(2.5, 0.0, 0.0),
+        ]);
+        grid.insert_cloud(&cloud);
+        assert_eq!(grid.occupied_count(), 2);
+    }
+
+    #[test]
+    fn non_finite_points_are_ignored() {
+        let mut grid = OccupancyGrid::new(0.5);
+        grid.insert_point(Vec3::new(f64::NAN, 0.0, 0.0));
+        grid.insert_point(Vec3::new(f64::INFINITY, 0.0, 0.0));
+        assert!(grid.is_empty());
+        assert!(!grid.is_occupied(Vec3::new(f64::NAN, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn set_voxel_flips_occupancy() {
+        let mut grid = OccupancyGrid::new(0.5);
+        let key = grid.key_for(Vec3::new(3.0, 3.0, 3.0));
+        assert!(!grid.set_voxel(key, true));
+        assert!(grid.is_occupied(Vec3::new(3.1, 3.1, 3.1)));
+        assert!(grid.set_voxel(key, false));
+        assert!(!grid.is_occupied(Vec3::new(3.1, 3.1, 3.1)));
+    }
+
+    #[test]
+    fn segment_free_detects_blocking_voxel() {
+        let mut grid = OccupancyGrid::new(0.5);
+        grid.insert_point(Vec3::new(5.0, 0.0, 0.0));
+        assert!(!grid.segment_free(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 0.3));
+        assert!(grid.segment_free(Vec3::ZERO, Vec3::new(0.0, 10.0, 0.0), 0.3));
+        assert!(grid.segment_free(Vec3::new(0.0, 5.0, 0.0), Vec3::new(10.0, 5.0, 0.0), 0.3));
+    }
+
+    #[test]
+    fn inflation_margin_extends_reach() {
+        let mut grid = OccupancyGrid::new(0.5);
+        grid.insert_point(Vec3::new(2.0, 2.0, 2.0));
+        assert!(!grid.is_occupied_near(Vec3::new(3.4, 2.0, 2.0), 0.4));
+        assert!(grid.is_occupied_near(Vec3::new(3.4, 2.0, 2.0), 1.5));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut grid = OccupancyGrid::new(1.0);
+        grid.insert_point(Vec3::ZERO);
+        grid.clear();
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn voxel_center_is_inside_its_voxel() {
+        let grid = OccupancyGrid::new(0.4);
+        let key = grid.key_for(Vec3::new(-1.3, 2.7, 0.05));
+        let center = grid.voxel_center(key);
+        assert_eq!(grid.key_for(center), key);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_panics() {
+        let _ = OccupancyGrid::new(0.0);
+    }
+}

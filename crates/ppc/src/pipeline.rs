@@ -1,0 +1,467 @@
+//! The end-to-end perception-planning-control pipeline: the "companion
+//! computer" software of the paper, with stage taps for fault injection and
+//! anomaly detection.
+
+use std::collections::HashMap;
+
+use mavfi_sim::geometry::Vec3;
+use mavfi_sim::sensors::DepthFrame;
+use mavfi_sim::vehicle::{FlightCommand, QuadrotorState};
+use serde::{Deserialize, Serialize};
+
+use crate::control::{PathTracker, PathTrackerConfig, PidConfig, PidController};
+use crate::kernel::KernelId;
+use crate::perception::{
+    CollisionChecker, CollisionCheckerConfig, OccupancyGrid, PointCloudGenerator,
+};
+use crate::planning::{
+    MissionPlan, MotionPlanner, PathSmoother, PlannerAlgorithm, PlannerConfig, TrajectoryGenerator,
+};
+use crate::states::{MonitoredStates, Stage, Trajectory, Waypoint};
+use crate::tap::{StageTap, TapAction};
+
+/// Configuration of a full PPC pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpcConfig {
+    /// Which sampling-based planner to use.
+    pub planner: PlannerAlgorithm,
+    /// Planner parameters (bounds, iteration budget, seed, ...).
+    pub planner_config: PlannerConfig,
+    /// Occupancy-map voxel resolution (m).
+    pub occupancy_resolution: f64,
+    /// Collision-checker parameters.
+    pub collision_checker: CollisionCheckerConfig,
+    /// Path-tracker parameters.
+    pub tracker: PathTrackerConfig,
+    /// PID controller gains.
+    pub pid: PidConfig,
+    /// Cruise speed for generated trajectories (m/s).
+    pub cruise_speed: f64,
+    /// Way-point spacing for generated trajectories (m).
+    pub waypoint_spacing: f64,
+    /// Predicted time-to-collision below which the pipeline replans (s).
+    pub replan_ttc_threshold: f64,
+}
+
+impl PpcConfig {
+    /// A configuration appropriate for the given environment bounds and
+    /// deterministic seed.
+    pub fn new(planner: PlannerAlgorithm, bounds: mavfi_sim::geometry::Aabb, seed: u64) -> Self {
+        Self {
+            planner,
+            planner_config: PlannerConfig::for_bounds(bounds).with_seed(seed),
+            occupancy_resolution: 0.5,
+            collision_checker: CollisionCheckerConfig::default(),
+            tracker: PathTrackerConfig::default(),
+            pid: PidConfig::default(),
+            cruise_speed: 4.0,
+            waypoint_spacing: 2.0,
+            replan_ttc_threshold: 2.5,
+        }
+    }
+}
+
+/// Per-stage and per-kernel bookkeeping of one mission's pipeline activity.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Number of invocations of each kernel.
+    pub kernel_invocations: HashMap<KernelId, u64>,
+    /// Number of replans triggered.
+    pub replans: u64,
+    /// Number of recomputations requested by the taps, per stage.
+    pub recomputations: HashMap<Stage, u64>,
+    /// Number of pipeline ticks executed.
+    pub ticks: u64,
+}
+
+impl PipelineStats {
+    fn count_kernel(&mut self, kernel: KernelId) {
+        *self.kernel_invocations.entry(kernel).or_insert(0) += 1;
+    }
+
+    fn count_recompute(&mut self, stage: Stage) {
+        *self.recomputations.entry(stage).or_insert(0) += 1;
+    }
+
+    /// Total invocations of `kernel`.
+    pub fn invocations(&self, kernel: KernelId) -> u64 {
+        self.kernel_invocations.get(&kernel).copied().unwrap_or(0)
+    }
+
+    /// Total recomputations of `stage`.
+    pub fn recomputations_of(&self, stage: Stage) -> u64 {
+        self.recomputations.get(&stage).copied().unwrap_or(0)
+    }
+
+    /// Total nominal compute time spent in kernels, in milliseconds, using
+    /// the i9 latency figures from [`KernelId::nominal_latency_ms`].
+    pub fn total_compute_ms(&self) -> f64 {
+        self.kernel_invocations
+            .iter()
+            .map(|(kernel, count)| kernel.nominal_latency_ms() * *count as f64)
+            .sum()
+    }
+}
+
+/// Output of one pipeline tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpcTick {
+    /// The flight command to forward to the actuator.
+    pub command: FlightCommand,
+    /// Snapshot of the 13 monitored inter-kernel states.
+    pub monitored: MonitoredStates,
+    /// Whether the planning stage ran (replan) during this tick.
+    pub replanned: bool,
+    /// Stages recomputed during this tick at a tap's request.
+    pub recomputed_stages: Vec<Stage>,
+    /// Whether the mission's final goal has been reached according to the
+    /// mission planner.
+    pub mission_complete: bool,
+}
+
+/// The end-to-end PPC pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline};
+/// use mavfi_ppc::planning::PlannerAlgorithm;
+/// use mavfi_ppc::tap::NoopTap;
+/// use mavfi_sim::prelude::*;
+///
+/// let env = EnvironmentKind::Sparse.build(1);
+/// let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), 7);
+/// let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+/// let camera = DepthCamera::default();
+/// let world = World::new(env, QuadrotorParams::default(), PowerModel::default(), MissionConfig::default());
+/// let frame = camera.capture(world.environment(), &world.vehicle().pose());
+/// let tick = pipeline.tick(&frame, &world.vehicle().state(), 0.1, &mut NoopTap);
+/// assert!(tick.command.is_finite());
+/// ```
+pub struct PpcPipeline {
+    config: PpcConfig,
+    point_cloud_generator: PointCloudGenerator,
+    occupancy: OccupancyGrid,
+    collision_checker: CollisionChecker,
+    planner: Box<dyn MotionPlanner + Send>,
+    smoother: PathSmoother,
+    trajectory_generator: TrajectoryGenerator,
+    mission: MissionPlan,
+    tracker: PathTracker,
+    pid: PidController,
+    trajectory: Trajectory,
+    stats: PipelineStats,
+}
+
+impl std::fmt::Debug for PpcPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpcPipeline")
+            .field("planner", &self.config.planner)
+            .field("trajectory_len", &self.trajectory.len())
+            .field("ticks", &self.stats.ticks)
+            .finish()
+    }
+}
+
+impl PpcPipeline {
+    /// Creates a pipeline flying a single-goal package-delivery mission from
+    /// `start` to `goal`.
+    pub fn new(config: PpcConfig, start: Vec3, goal: Vec3) -> Self {
+        Self::with_mission(config, MissionPlan::package_delivery(start, goal))
+    }
+
+    /// Creates a pipeline flying an arbitrary mission plan.
+    pub fn with_mission(config: PpcConfig, mission: MissionPlan) -> Self {
+        Self {
+            config,
+            point_cloud_generator: PointCloudGenerator::default(),
+            occupancy: OccupancyGrid::new(config.occupancy_resolution),
+            collision_checker: CollisionChecker::new(config.collision_checker),
+            planner: config.planner.instantiate(config.planner_config),
+            smoother: PathSmoother::new(config.planner_config.margin),
+            trajectory_generator: TrajectoryGenerator::new(config.cruise_speed, config.waypoint_spacing),
+            mission,
+            tracker: PathTracker::new(config.tracker),
+            pid: PidController::new(config.pid),
+            trajectory: Trajectory::default(),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> PpcConfig {
+        self.config
+    }
+
+    /// Accumulated pipeline statistics.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The currently stored trajectory.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// The occupancy map built so far.
+    pub fn occupancy(&self) -> &OccupancyGrid {
+        &self.occupancy
+    }
+
+    /// The mission plan.
+    pub fn mission(&self) -> &MissionPlan {
+        &self.mission
+    }
+
+    /// Runs one perception-planning-control cycle.
+    ///
+    /// `tap` is invoked between stages and may mutate inter-kernel states
+    /// (fault injection) or request stage recomputation (recovery).
+    pub fn tick(
+        &mut self,
+        frame: &DepthFrame,
+        vehicle: &QuadrotorState,
+        dt: f64,
+        tap: &mut dyn StageTap,
+    ) -> PpcTick {
+        self.stats.ticks += 1;
+        let mut recomputed_stages = Vec::new();
+        let position = vehicle.position;
+
+        // ----- Perception -----
+        let mut cloud = self.point_cloud_generator.run(frame);
+        self.stats.count_kernel(KernelId::PointCloudGeneration);
+        tap.after_point_cloud(&mut cloud);
+        self.occupancy.insert_cloud(&cloud);
+        self.stats.count_kernel(KernelId::OctoMap);
+        tap.after_occupancy(&mut self.occupancy);
+
+        let mut estimate = self.collision_checker.run(
+            &self.occupancy,
+            position,
+            vehicle.velocity,
+            &self.trajectory,
+            self.tracker.active_index(),
+        );
+        self.stats.count_kernel(KernelId::CollisionCheck);
+        if tap.after_perception(&mut estimate) == TapAction::Recompute {
+            // Recovery: rebuild the perception output from scratch (occupancy
+            // re-update plus collision re-check, the 289 ms path of §VI-C).
+            self.occupancy.insert_cloud(&cloud);
+            self.stats.count_kernel(KernelId::OctoMap);
+            estimate = self.collision_checker.run(
+                &self.occupancy,
+                position,
+                vehicle.velocity,
+                &self.trajectory,
+                self.tracker.active_index(),
+            );
+            self.stats.count_kernel(KernelId::CollisionCheck);
+            self.stats.count_recompute(Stage::Perception);
+            recomputed_stages.push(Stage::Perception);
+        }
+
+        // ----- Planning -----
+        let collision_imminent = estimate.obstacle_ahead
+            && (estimate.time_to_collision <= self.config.replan_ttc_threshold
+                || estimate.future_collision_seq >= 0.0);
+        let needs_plan = self.trajectory.is_empty()
+            || self.tracker.is_finished(&self.trajectory)
+            || collision_imminent;
+        let mut replanned = false;
+        if needs_plan && !self.mission.is_complete() {
+            replanned = self.replan(position);
+        }
+        if tap.after_planning(&mut self.trajectory, self.tracker.active_index()) == TapAction::Recompute
+        {
+            // Recovery: regenerate the trajectory (the 83 ms re-plan path).
+            self.replan(position);
+            self.stats.count_recompute(Stage::Planning);
+            recomputed_stages.push(Stage::Planning);
+        }
+
+        // ----- Control -----
+        self.stats.count_kernel(KernelId::PathTracking);
+        let target = self.tracker.target(&self.trajectory, position);
+        let mut command = self.issue_command(target.as_ref(), vehicle, dt);
+        if tap.after_control(&mut command) == TapAction::Recompute {
+            // Recovery: recompute the control output (the 0.46 ms path).
+            self.pid.reset();
+            self.stats.count_kernel(KernelId::PathTracking);
+            let fresh_target = self.tracker.target(&self.trajectory, position);
+            command = self.issue_command(fresh_target.as_ref(), vehicle, dt);
+            self.stats.count_recompute(Stage::Control);
+            recomputed_stages.push(Stage::Control);
+        }
+
+        // ----- Mission bookkeeping -----
+        self.stats.count_kernel(KernelId::MissionPlanner);
+        let mission_complete =
+            self.mission.advance_if_reached(position, self.config.planner_config.goal_tolerance);
+
+        let monitored = MonitoredStates {
+            collision: estimate,
+            waypoint: target.unwrap_or(Waypoint {
+                position,
+                yaw: vehicle.yaw,
+                velocity: Vec3::ZERO,
+            }),
+            command,
+        };
+
+        PpcTick { command, monitored, replanned, recomputed_stages, mission_complete }
+    }
+
+    fn replan(&mut self, position: Vec3) -> bool {
+        let Some(goal) = self.mission.current_goal() else {
+            self.trajectory = Trajectory::default();
+            return false;
+        };
+        self.stats.count_kernel(self.config.planner.kernel());
+        self.stats.replans += 1;
+        match self.planner.plan(&self.occupancy, position, goal) {
+            Some(path) => {
+                self.stats.count_kernel(KernelId::Smoothing);
+                let smoothed = self.smoother.run(&self.occupancy, &path);
+                self.trajectory = self.trajectory_generator.run(&smoothed);
+                self.tracker.reset();
+                self.pid.reset();
+                true
+            }
+            None => {
+                // Keep the previous trajectory (if any); the vehicle will
+                // brake on an empty one.
+                false
+            }
+        }
+    }
+
+    fn issue_command(
+        &mut self,
+        target: Option<&Waypoint>,
+        vehicle: &QuadrotorState,
+        dt: f64,
+    ) -> FlightCommand {
+        self.stats.count_kernel(KernelId::Pid);
+        match target {
+            Some(waypoint) => self.pid.run(waypoint, vehicle, dt),
+            None => FlightCommand::HOLD,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap::NoopTap;
+    use mavfi_sim::prelude::*;
+
+    fn run_mission(kind: EnvironmentKind, seed: u64, max_seconds: f64) -> (MissionStatus, f64) {
+        let env = kind.build(seed);
+        let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), seed);
+        let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+        let camera = DepthCamera::default();
+        let mission_config = MissionConfig { max_mission_time: max_seconds, ..MissionConfig::default() };
+        let mut world =
+            World::new(env, QuadrotorParams::default(), PowerModel::default(), mission_config);
+        let dt = 0.1;
+        while world.status() == MissionStatus::InProgress {
+            let frame = camera.capture(world.environment(), &world.vehicle().pose());
+            let tick = pipeline.tick(&frame, &world.vehicle().state(), dt, &mut NoopTap);
+            world.step(&tick.command, dt);
+        }
+        (world.status(), world.elapsed())
+    }
+
+    #[test]
+    fn completes_mission_in_sparse_environment() {
+        let (status, elapsed) = run_mission(EnvironmentKind::Sparse, 3, 300.0);
+        assert_eq!(status, MissionStatus::Succeeded, "mission should succeed, took {elapsed} s");
+        assert!(elapsed > 5.0);
+    }
+
+    #[test]
+    fn completes_mission_in_farm_environment() {
+        let (status, _) = run_mission(EnvironmentKind::Farm, 1, 300.0);
+        assert_eq!(status, MissionStatus::Succeeded);
+    }
+
+    #[test]
+    fn stats_track_kernel_invocations_and_replans() {
+        let env = EnvironmentKind::Sparse.build(5);
+        let config = PpcConfig::new(PlannerAlgorithm::Rrt, env.bounds(), 5);
+        let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+        let camera = DepthCamera::default();
+        let world = World::new(
+            env,
+            QuadrotorParams::default(),
+            PowerModel::default(),
+            MissionConfig::default(),
+        );
+        let frame = camera.capture(world.environment(), &world.vehicle().pose());
+        let tick = pipeline.tick(&frame, &world.vehicle().state(), 0.1, &mut NoopTap);
+        assert!(tick.replanned, "first tick must plan");
+        let stats = pipeline.stats();
+        assert_eq!(stats.ticks, 1);
+        assert_eq!(stats.invocations(KernelId::PointCloudGeneration), 1);
+        assert_eq!(stats.invocations(KernelId::OctoMap), 1);
+        assert_eq!(stats.invocations(KernelId::Rrt), 1);
+        assert!(stats.total_compute_ms() > 0.0);
+        assert_eq!(stats.replans, 1);
+    }
+
+    #[test]
+    fn recompute_requests_are_honoured_and_counted() {
+        struct RecomputeEverything;
+        impl StageTap for RecomputeEverything {
+            fn after_perception(
+                &mut self,
+                _estimate: &mut crate::states::CollisionEstimate,
+            ) -> TapAction {
+                TapAction::Recompute
+            }
+            fn after_planning(&mut self, _trajectory: &mut Trajectory, _active_index: usize) -> TapAction {
+                TapAction::Recompute
+            }
+            fn after_control(&mut self, _command: &mut FlightCommand) -> TapAction {
+                TapAction::Recompute
+            }
+        }
+
+        let env = EnvironmentKind::Farm.build(1);
+        let config = PpcConfig::new(PlannerAlgorithm::RrtConnect, env.bounds(), 1);
+        let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+        let camera = DepthCamera::default();
+        let world = World::new(
+            env,
+            QuadrotorParams::default(),
+            PowerModel::default(),
+            MissionConfig::default(),
+        );
+        let frame = camera.capture(world.environment(), &world.vehicle().pose());
+        let tick = pipeline.tick(&frame, &world.vehicle().state(), 0.1, &mut RecomputeEverything);
+        assert_eq!(tick.recomputed_stages.len(), 3);
+        assert_eq!(pipeline.stats().recomputations_of(Stage::Perception), 1);
+        assert_eq!(pipeline.stats().recomputations_of(Stage::Planning), 1);
+        assert_eq!(pipeline.stats().recomputations_of(Stage::Control), 1);
+    }
+
+    #[test]
+    fn monitored_states_reflect_command_and_waypoint() {
+        let env = EnvironmentKind::Sparse.build(9);
+        let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), 9);
+        let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+        let camera = DepthCamera::default();
+        let world = World::new(
+            env,
+            QuadrotorParams::default(),
+            PowerModel::default(),
+            MissionConfig::default(),
+        );
+        let frame = camera.capture(world.environment(), &world.vehicle().pose());
+        let tick = pipeline.tick(&frame, &world.vehicle().state(), 0.1, &mut NoopTap);
+        assert_eq!(tick.monitored.command, tick.command);
+        let array = tick.monitored.as_array();
+        assert!(array.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,290 @@
+//! Frontier-based exploration (the "Frontier Exploration" kernel of the
+//! paper's Fig. 1 pipeline overview).
+//!
+//! Package delivery flies to a known goal; exploration missions instead keep
+//! choosing the nearest *frontier* — a cell the vehicle has observed to be
+//! free that borders unobserved space — until the area of interest is
+//! covered.  The [`ExplorationMap`] tracks what has been observed and the
+//! [`FrontierPlanner`] turns it into successive exploration goals that the
+//! normal motion-planning stack can fly to.
+
+use std::collections::HashSet;
+
+use mavfi_sim::geometry::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+use crate::perception::occupancy::OccupancyGrid;
+
+/// Integer cell coordinates of the exploration map (a coarse 2-D lattice at
+/// a fixed flight altitude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExplorationCell {
+    /// Cell index along X.
+    pub x: i64,
+    /// Cell index along Y.
+    pub y: i64,
+}
+
+/// What the vehicle knows about one exploration cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellState {
+    /// Never observed.
+    Unknown,
+    /// Observed and free.
+    Free,
+    /// Observed and occupied.
+    Occupied,
+}
+
+/// Coverage map of an exploration mission over a bounded area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationMap {
+    bounds: Aabb,
+    cell_size: f64,
+    free: HashSet<ExplorationCell>,
+    occupied: HashSet<ExplorationCell>,
+}
+
+impl ExplorationMap {
+    /// Creates a map over `bounds` with square cells of `cell_size` metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(bounds: Aabb, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
+        Self { bounds, cell_size, free: HashSet::new(), occupied: HashSet::new() }
+    }
+
+    /// The exploration bounds.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Cell edge length in metres.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// The cell containing a world position.
+    pub fn cell_of(&self, position: Vec3) -> ExplorationCell {
+        ExplorationCell {
+            x: ((position.x - self.bounds.min.x) / self.cell_size).floor() as i64,
+            y: ((position.y - self.bounds.min.y) / self.cell_size).floor() as i64,
+        }
+    }
+
+    /// World-space centre of a cell at the given flight altitude.
+    pub fn cell_center(&self, cell: ExplorationCell, altitude: f64) -> Vec3 {
+        Vec3::new(
+            self.bounds.min.x + (cell.x as f64 + 0.5) * self.cell_size,
+            self.bounds.min.y + (cell.y as f64 + 0.5) * self.cell_size,
+            altitude,
+        )
+    }
+
+    /// Returns `true` when the cell lies inside the exploration bounds.
+    pub fn in_bounds(&self, cell: ExplorationCell) -> bool {
+        let cells_x = ((self.bounds.max.x - self.bounds.min.x) / self.cell_size).ceil() as i64;
+        let cells_y = ((self.bounds.max.y - self.bounds.min.y) / self.cell_size).ceil() as i64;
+        (0..cells_x).contains(&cell.x) && (0..cells_y).contains(&cell.y)
+    }
+
+    /// The knowledge state of a cell.
+    pub fn state(&self, cell: ExplorationCell) -> CellState {
+        if self.occupied.contains(&cell) {
+            CellState::Occupied
+        } else if self.free.contains(&cell) {
+            CellState::Free
+        } else {
+            CellState::Unknown
+        }
+    }
+
+    /// Total number of cells inside the bounds.
+    pub fn total_cells(&self) -> usize {
+        let cells_x = ((self.bounds.max.x - self.bounds.min.x) / self.cell_size).ceil() as i64;
+        let cells_y = ((self.bounds.max.y - self.bounds.min.y) / self.cell_size).ceil() as i64;
+        (cells_x.max(0) * cells_y.max(0)) as usize
+    }
+
+    /// Fraction of cells observed (free or occupied).
+    pub fn coverage(&self) -> f64 {
+        let total = self.total_cells();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.free.len() + self.occupied.len()) as f64 / total as f64
+    }
+
+    /// Marks every cell within `radius` metres of `position` as observed,
+    /// classifying it as occupied when the occupancy grid has an obstacle in
+    /// that cell near the flight altitude.
+    pub fn observe(&mut self, position: Vec3, radius: f64, grid: &OccupancyGrid) {
+        let reach = (radius / self.cell_size).ceil() as i64;
+        let center = self.cell_of(position);
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                let cell = ExplorationCell { x: center.x + dx, y: center.y + dy };
+                if !self.in_bounds(cell) {
+                    continue;
+                }
+                let world = self.cell_center(cell, position.z);
+                if world.distance(Vec3::new(position.x, position.y, position.z)) > radius {
+                    continue;
+                }
+                if grid.is_occupied_near(world, self.cell_size * 0.5) {
+                    self.occupied.insert(cell);
+                    self.free.remove(&cell);
+                } else if !self.occupied.contains(&cell) {
+                    self.free.insert(cell);
+                }
+            }
+        }
+    }
+
+    /// Frontier cells: observed-free cells with at least one unknown
+    /// 4-neighbour inside the bounds.
+    pub fn frontiers(&self) -> Vec<ExplorationCell> {
+        let mut frontiers: Vec<ExplorationCell> = self
+            .free
+            .iter()
+            .copied()
+            .filter(|cell| {
+                [(1, 0), (-1, 0), (0, 1), (0, -1)].into_iter().any(|(dx, dy)| {
+                    let neighbour = ExplorationCell { x: cell.x + dx, y: cell.y + dy };
+                    self.in_bounds(neighbour) && self.state(neighbour) == CellState::Unknown
+                })
+            })
+            .collect();
+        frontiers.sort();
+        frontiers
+    }
+
+    /// Returns `true` when no frontier remains (the reachable area has been
+    /// fully observed).
+    pub fn is_fully_explored(&self) -> bool {
+        self.frontiers().is_empty() && !self.free.is_empty()
+    }
+}
+
+/// Chooses successive exploration goals from an [`ExplorationMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPlanner {
+    /// Flight altitude of the exploration goals (m).
+    pub altitude: f64,
+    /// Minimum distance between the vehicle and a chosen goal (m); closer
+    /// frontiers are skipped to avoid oscillating around the current cell.
+    pub min_goal_distance: f64,
+}
+
+impl Default for FrontierPlanner {
+    fn default() -> Self {
+        Self { altitude: 2.5, min_goal_distance: 3.0 }
+    }
+}
+
+impl FrontierPlanner {
+    /// Picks the nearest frontier (by straight-line distance from
+    /// `position`) that is at least `min_goal_distance` away, returning its
+    /// world-space centre.  Returns `None` when exploration is complete.
+    pub fn next_goal(&self, map: &ExplorationMap, position: Vec3) -> Option<Vec3> {
+        let candidates = map.frontiers();
+        candidates
+            .into_iter()
+            .map(|cell| map.cell_center(cell, self.altitude))
+            .filter(|goal| goal.distance(position) >= self.min_goal_distance)
+            .min_by(|a, b| {
+                a.distance(position)
+                    .partial_cmp(&b.distance(position))
+                    .expect("distances are finite")
+            })
+            .or_else(|| {
+                // Fall back to any frontier when all of them are close.
+                map.frontiers().first().map(|cell| map.cell_center(*cell, self.altitude))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Aabb {
+        Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(40.0, 40.0, 8.0))
+    }
+
+    #[test]
+    fn observation_marks_cells_and_coverage_grows() {
+        let mut map = ExplorationMap::new(bounds(), 4.0);
+        assert_eq!(map.coverage(), 0.0);
+        let grid = OccupancyGrid::new(0.5);
+        map.observe(Vec3::new(10.0, 10.0, 2.5), 8.0, &grid);
+        assert!(map.coverage() > 0.0);
+        assert_eq!(map.state(map.cell_of(Vec3::new(10.0, 10.0, 2.5))), CellState::Free);
+    }
+
+    #[test]
+    fn obstacles_are_classified_as_occupied() {
+        let mut map = ExplorationMap::new(bounds(), 4.0);
+        let mut grid = OccupancyGrid::new(0.5);
+        for z in 0..10 {
+            grid.insert_point(Vec3::new(18.0, 18.0, z as f64 * 0.5));
+        }
+        map.observe(Vec3::new(18.0, 18.0, 2.5), 6.0, &grid);
+        assert_eq!(map.state(map.cell_of(Vec3::new(18.0, 18.0, 2.5))), CellState::Occupied);
+    }
+
+    #[test]
+    fn frontiers_border_unknown_space_and_shrink_with_coverage() {
+        let mut map = ExplorationMap::new(bounds(), 4.0);
+        let grid = OccupancyGrid::new(0.5);
+        map.observe(Vec3::new(6.0, 6.0, 2.5), 10.0, &grid);
+        let first_frontiers = map.frontiers();
+        assert!(!first_frontiers.is_empty());
+        for cell in &first_frontiers {
+            assert_eq!(map.state(*cell), CellState::Free);
+        }
+        // Observe everything: no frontier remains.
+        for x in 0..10 {
+            for y in 0..10 {
+                map.observe(Vec3::new(x as f64 * 4.0 + 2.0, y as f64 * 4.0 + 2.0, 2.5), 6.0, &grid);
+            }
+        }
+        assert!(map.is_fully_explored());
+        assert!((map.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planner_picks_the_nearest_sufficiently_far_frontier() {
+        let mut map = ExplorationMap::new(bounds(), 4.0);
+        let grid = OccupancyGrid::new(0.5);
+        let position = Vec3::new(6.0, 6.0, 2.5);
+        map.observe(position, 10.0, &grid);
+        let planner = FrontierPlanner::default();
+        let goal = planner.next_goal(&map, position).expect("frontiers exist");
+        assert!(goal.distance(position) >= planner.min_goal_distance);
+        assert!(map.in_bounds(map.cell_of(goal)));
+        // The goal is a frontier cell centre.
+        assert!(map.frontiers().contains(&map.cell_of(goal)));
+    }
+
+    #[test]
+    fn exhausted_map_yields_no_goal() {
+        let mut map = ExplorationMap::new(Aabb::new(Vec3::ZERO, Vec3::new(8.0, 8.0, 8.0)), 4.0);
+        let grid = OccupancyGrid::new(0.5);
+        for x in 0..2 {
+            for y in 0..2 {
+                map.observe(Vec3::new(x as f64 * 4.0 + 2.0, y as f64 * 4.0 + 2.0, 2.5), 6.0, &grid);
+            }
+        }
+        assert!(map.is_fully_explored());
+        assert_eq!(FrontierPlanner::default().next_goal(&map, Vec3::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let _ = ExplorationMap::new(bounds(), 0.0);
+    }
+}

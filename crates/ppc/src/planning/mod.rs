@@ -1,0 +1,22 @@
+//! Planning stage: sampling-based motion planners, path smoothing,
+//! trajectory generation and the mission planner.
+
+pub mod astar;
+pub mod frontier;
+pub mod mission;
+pub mod rrt;
+pub mod rrt_connect;
+pub mod rrt_star;
+pub mod smoothing;
+pub mod space;
+pub mod trajectory_gen;
+
+pub use astar::AStarPlanner;
+pub use frontier::{CellState, ExplorationCell, ExplorationMap, FrontierPlanner};
+pub use mission::MissionPlan;
+pub use rrt::Rrt;
+pub use rrt_connect::RrtConnect;
+pub use rrt_star::RrtStar;
+pub use smoothing::PathSmoother;
+pub use space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerAlgorithm, PlannerConfig};
+pub use trajectory_gen::TrajectoryGenerator;

@@ -1,0 +1,191 @@
+//! Baseline rapidly-exploring random tree (RRT) planner.
+
+use mavfi_sim::geometry::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernel::KernelId;
+use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
+
+pub(crate) struct TreeNode {
+    pub(crate) position: Vec3,
+    pub(crate) parent: Option<usize>,
+}
+
+/// Samples a point in the configuration-space bounds, with goal biasing.
+pub(crate) fn sample_point(rng: &mut StdRng, config: &PlannerConfig, goal: Vec3) -> Vec3 {
+    if rng.gen_bool(config.goal_bias.clamp(0.0, 1.0)) {
+        return goal;
+    }
+    let bounds = config.bounds;
+    Vec3::new(
+        rng.gen_range(bounds.min.x..=bounds.max.x),
+        rng.gen_range(bounds.min.y..=bounds.max.y),
+        rng.gen_range(bounds.min.z..=bounds.max.z),
+    )
+}
+
+/// Index of the tree node nearest to `point`.
+pub(crate) fn nearest(nodes: &[TreeNode], point: Vec3) -> usize {
+    nodes
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.position
+                .distance(point)
+                .partial_cmp(&b.position.distance(point))
+                .expect("distances are finite")
+        })
+        .map(|(index, _)| index)
+        .expect("tree is never empty")
+}
+
+/// Moves from `from` towards `to` by at most `step`.
+pub(crate) fn steer(from: Vec3, to: Vec3, step: f64) -> Vec3 {
+    let delta = to - from;
+    let distance = delta.norm();
+    if distance <= step || distance <= f64::EPSILON {
+        to
+    } else {
+        from + delta * (step / distance)
+    }
+}
+
+/// Reconstructs the path from the root to `index`.
+pub(crate) fn trace_path(nodes: &[TreeNode], mut index: usize) -> Vec<Vec3> {
+    let mut reversed = vec![nodes[index].position];
+    while let Some(parent) = nodes[index].parent {
+        reversed.push(nodes[parent].position);
+        index = parent;
+    }
+    reversed.reverse();
+    reversed
+}
+
+/// The baseline RRT planner.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::planning::{MotionPlanner, PlannerConfig, Rrt};
+/// use mavfi_sim::env::EnvironmentKind;
+///
+/// let env = EnvironmentKind::Sparse.build(3);
+/// let mut planner = Rrt::new(PlannerConfig::for_bounds(env.bounds()).with_seed(1));
+/// let path = planner.plan(&env, env.start(), env.goal()).expect("sparse world is solvable");
+/// assert!(path.len() >= 2);
+/// ```
+#[derive(Debug)]
+pub struct Rrt {
+    config: PlannerConfig,
+    rng: StdRng,
+}
+
+impl Rrt {
+    /// Creates an RRT planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { config, rng }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+}
+
+impl MotionPlanner for Rrt {
+    fn kernel(&self) -> KernelId {
+        KernelId::Rrt
+    }
+
+    fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        if !model.point_free(goal, self.config.margin) {
+            return None;
+        }
+        // Direct connection shortcut.
+        if model.segment_free(start, goal, self.config.margin) {
+            return Some(PlannedPath::new(vec![start, goal]));
+        }
+
+        let mut nodes = vec![TreeNode { position: start, parent: None }];
+        for _ in 0..self.config.max_iterations {
+            let sample = sample_point(&mut self.rng, &self.config, goal);
+            let nearest_index = nearest(&nodes, sample);
+            let new_position = steer(nodes[nearest_index].position, sample, self.config.step_size);
+            if !model.point_free(new_position, self.config.margin)
+                || !model.segment_free(nodes[nearest_index].position, new_position, self.config.margin)
+            {
+                continue;
+            }
+            nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
+            let new_index = nodes.len() - 1;
+
+            if new_position.distance(goal) <= self.config.goal_tolerance
+                && model.segment_free(new_position, goal, self.config.margin)
+            {
+                let mut waypoints = trace_path(&nodes, new_index);
+                waypoints.push(goal);
+                return Some(PlannedPath::new(waypoints));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mavfi_sim::env::EnvironmentKind;
+
+    #[test]
+    fn steer_respects_step_size() {
+        let stepped = steer(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 2.0);
+        assert_eq!(stepped, Vec3::new(2.0, 0.0, 0.0));
+        let reached = steer(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 2.0);
+        assert_eq!(reached, Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn plans_through_sparse_environment() {
+        let env = EnvironmentKind::Sparse.build(11);
+        let mut planner = Rrt::new(PlannerConfig::for_bounds(env.bounds()).with_seed(4));
+        let path = planner.plan(&env, env.start(), env.goal()).expect("path exists");
+        assert_eq!(path.waypoints[0], env.start());
+        assert_eq!(*path.waypoints.last().unwrap(), env.goal());
+        assert!(path.is_collision_free(&env, planner.config().margin * 0.9));
+    }
+
+    #[test]
+    fn direct_shortcut_when_line_of_sight_exists() {
+        let env = EnvironmentKind::Farm.build(0);
+        let mut planner = Rrt::new(PlannerConfig::for_bounds(env.bounds()).with_seed(0));
+        // Farm hedges are low; fly above them by planning at altitude 2.5 m,
+        // but the start-goal diagonal crosses hedges laterally, so just check
+        // that a short unobstructed segment takes the shortcut.
+        let start = env.start();
+        let nearby = start + Vec3::new(3.0, 0.0, 0.0);
+        let path = planner.plan(&env, start, nearby).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn planning_is_deterministic_for_a_seed() {
+        let env = EnvironmentKind::Sparse.build(7);
+        let config = PlannerConfig::for_bounds(env.bounds()).with_seed(21);
+        let a = Rrt::new(config).plan(&env, env.start(), env.goal());
+        let b = Rrt::new(config).plan(&env, env.start(), env.goal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn impossible_problem_returns_none() {
+        let env = EnvironmentKind::Sparse.build(1);
+        let mut config = PlannerConfig::for_bounds(env.bounds()).with_seed(1);
+        config.max_iterations = 5;
+        // Ask for a goal outside the bounds with a tiny budget: unreachable.
+        let outside = env.bounds().max + Vec3::splat(100.0);
+        let mut planner = Rrt::new(config);
+        assert!(planner.plan(&env, env.start(), outside).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Bidirectional RRT-Connect planner.
+
+use mavfi_sim::geometry::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kernel::KernelId;
+use crate::planning::rrt::{nearest, sample_point, steer, trace_path, TreeNode};
+use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
+
+/// RRT-Connect: two trees grown from start and goal that greedily connect
+/// towards each other.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::planning::{MotionPlanner, PlannerConfig, RrtConnect};
+/// use mavfi_sim::env::EnvironmentKind;
+///
+/// let env = EnvironmentKind::Sparse.build(5);
+/// let mut planner = RrtConnect::new(PlannerConfig::for_bounds(env.bounds()).with_seed(2));
+/// assert!(planner.plan(&env, env.start(), env.goal()).is_some());
+/// ```
+#[derive(Debug)]
+pub struct RrtConnect {
+    config: PlannerConfig,
+    rng: StdRng,
+}
+
+enum ExtendResult {
+    Trapped,
+    Advanced(usize),
+    Reached(usize),
+}
+
+impl RrtConnect {
+    /// Creates an RRT-Connect planner.
+    pub fn new(config: PlannerConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self { config, rng }
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    fn extend(
+        &self,
+        model: &dyn ObstacleModel,
+        nodes: &mut Vec<TreeNode>,
+        target: Vec3,
+    ) -> ExtendResult {
+        let nearest_index = nearest(nodes, target);
+        let new_position = steer(nodes[nearest_index].position, target, self.config.step_size);
+        if !model.point_free(new_position, self.config.margin)
+            || !model.segment_free(nodes[nearest_index].position, new_position, self.config.margin)
+        {
+            return ExtendResult::Trapped;
+        }
+        nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
+        let new_index = nodes.len() - 1;
+        if new_position.distance(target) <= self.config.goal_tolerance {
+            ExtendResult::Reached(new_index)
+        } else {
+            ExtendResult::Advanced(new_index)
+        }
+    }
+
+    fn connect(
+        &self,
+        model: &dyn ObstacleModel,
+        nodes: &mut Vec<TreeNode>,
+        target: Vec3,
+    ) -> ExtendResult {
+        // Keep growing towards the target until trapped or reached.
+        loop {
+            match self.extend(model, nodes, target) {
+                ExtendResult::Advanced(_) => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+impl MotionPlanner for RrtConnect {
+    fn kernel(&self) -> KernelId {
+        KernelId::RrtConnect
+    }
+
+    fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        if !model.point_free(goal, self.config.margin) {
+            return None;
+        }
+        if model.segment_free(start, goal, self.config.margin) {
+            return Some(PlannedPath::new(vec![start, goal]));
+        }
+
+        let mut start_tree = vec![TreeNode { position: start, parent: None }];
+        let mut goal_tree = vec![TreeNode { position: goal, parent: None }];
+        let mut start_is_a = true;
+
+        for _ in 0..self.config.max_iterations {
+            let sample = sample_point(&mut self.rng, &self.config, goal);
+            let (tree_a, tree_b) = if start_is_a {
+                (&mut start_tree, &mut goal_tree)
+            } else {
+                (&mut goal_tree, &mut start_tree)
+            };
+
+            let extended = match self.extend(model, tree_a, sample) {
+                ExtendResult::Trapped => {
+                    start_is_a = !start_is_a;
+                    continue;
+                }
+                ExtendResult::Advanced(index) | ExtendResult::Reached(index) => index,
+            };
+            let new_position = tree_a[extended].position;
+
+            if let ExtendResult::Reached(meet_index) = self.connect(model, tree_b, new_position) {
+                // Join: path through tree A to `extended`, then through tree
+                // B from `meet_index` back to its root.
+                let (start_nodes, start_index, goal_nodes, goal_index) = if start_is_a {
+                    (&start_tree, extended, &goal_tree, meet_index)
+                } else {
+                    (&start_tree, meet_index, &goal_tree, extended)
+                };
+                let mut waypoints = trace_path(start_nodes, start_index);
+                let mut tail = trace_path(goal_nodes, goal_index);
+                tail.reverse();
+                waypoints.extend(tail);
+                return Some(PlannedPath::new(waypoints));
+            }
+            start_is_a = !start_is_a;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mavfi_sim::env::EnvironmentKind;
+
+    #[test]
+    fn plans_through_sparse_and_dense_environments() {
+        for (kind, seed) in [(EnvironmentKind::Sparse, 3_u64), (EnvironmentKind::Dense, 8_u64)] {
+            let env = kind.build(seed);
+            let mut planner = RrtConnect::new(PlannerConfig::for_bounds(env.bounds()).with_seed(17));
+            let path = planner
+                .plan(&env, env.start(), env.goal())
+                .unwrap_or_else(|| panic!("{} should be solvable", env.name()));
+            assert_eq!(path.waypoints.first().copied(), Some(env.start()));
+            assert_eq!(path.waypoints.last().copied(), Some(env.goal()));
+            assert!(path.is_collision_free(&env, planner.config().margin * 0.9));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let env = EnvironmentKind::Sparse.build(9);
+        let config = PlannerConfig::for_bounds(env.bounds()).with_seed(5);
+        let a = RrtConnect::new(config).plan(&env, env.start(), env.goal());
+        let b = RrtConnect::new(config).plan(&env, env.start(), env.goal());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn path_endpoints_are_exact() {
+        let env = EnvironmentKind::Factory.build(0);
+        let mut planner = RrtConnect::new(PlannerConfig::for_bounds(env.bounds()).with_seed(31));
+        if let Some(path) = planner.plan(&env, env.start(), env.goal()) {
+            assert_eq!(path.waypoints[0], env.start());
+            assert_eq!(*path.waypoints.last().unwrap(), env.goal());
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Onboard sensors: a ray-casting depth camera (stand-in for the RGB-D
+//! camera) and a noisy IMU.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::env::Environment;
+use crate::geometry::{Pose, Vec3};
+
+/// A depth-camera frame expressed as a world-frame point cloud.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DepthFrame {
+    /// Hit points in the world frame, one per ray that struck an obstacle.
+    pub points: Vec<Vec3>,
+    /// Total number of rays cast for this frame (hits plus misses).
+    pub rays_cast: usize,
+}
+
+/// A pin-hole style depth camera simulated by ray casting against the
+/// environment's obstacle set.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_sim::env::EnvironmentKind;
+/// use mavfi_sim::geometry::Pose;
+/// use mavfi_sim::sensors::DepthCamera;
+///
+/// let env = EnvironmentKind::Dense.build(1);
+/// let camera = DepthCamera::default();
+/// let frame = camera.capture(&env, &Pose::new(env.start(), 0.0));
+/// assert_eq!(frame.rays_cast, camera.ray_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthCamera {
+    /// Horizontal field of view (radians).
+    pub horizontal_fov: f64,
+    /// Vertical field of view (radians).
+    pub vertical_fov: f64,
+    /// Number of rays across the horizontal field of view.
+    pub horizontal_rays: usize,
+    /// Number of rays across the vertical field of view.
+    pub vertical_rays: usize,
+    /// Maximum sensing range (m).
+    pub max_range: f64,
+}
+
+impl Default for DepthCamera {
+    fn default() -> Self {
+        Self {
+            horizontal_fov: 90_f64.to_radians(),
+            vertical_fov: 45_f64.to_radians(),
+            horizontal_rays: 32,
+            vertical_rays: 8,
+            max_range: 20.0,
+        }
+    }
+}
+
+impl DepthCamera {
+    /// Total number of rays cast per frame.
+    pub fn ray_count(&self) -> usize {
+        self.horizontal_rays * self.vertical_rays
+    }
+
+    /// Captures a depth frame from `pose` looking along the pose heading.
+    pub fn capture(&self, env: &Environment, pose: &Pose) -> DepthFrame {
+        let mut points = Vec::new();
+        let origin = pose.position;
+        for vi in 0..self.vertical_rays {
+            let v_frac = if self.vertical_rays > 1 {
+                vi as f64 / (self.vertical_rays - 1) as f64 - 0.5
+            } else {
+                0.0
+            };
+            let pitch = v_frac * self.vertical_fov;
+            for hi in 0..self.horizontal_rays {
+                let h_frac = if self.horizontal_rays > 1 {
+                    hi as f64 / (self.horizontal_rays - 1) as f64 - 0.5
+                } else {
+                    0.0
+                };
+                let yaw = pose.yaw + h_frac * self.horizontal_fov;
+                let direction = Vec3::new(
+                    yaw.cos() * pitch.cos(),
+                    yaw.sin() * pitch.cos(),
+                    pitch.sin(),
+                );
+                let mut nearest: Option<f64> = None;
+                for obstacle in env.obstacles() {
+                    if let Some(t) = obstacle.aabb.ray_intersection(origin, direction) {
+                        if t <= self.max_range && nearest.map_or(true, |best| t < best) {
+                            nearest = Some(t);
+                        }
+                    }
+                }
+                if let Some(t) = nearest {
+                    points.push(origin + direction * t);
+                }
+            }
+        }
+        DepthFrame { points, rays_cast: self.ray_count() }
+    }
+}
+
+/// One IMU measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ImuSample {
+    /// Measured linear acceleration in the world frame (m/s²), noise
+    /// included.
+    pub acceleration: Vec3,
+    /// Measured yaw rate (rad/s), noise included.
+    pub yaw_rate: f64,
+}
+
+/// A noisy inertial measurement unit.
+///
+/// The IMU differentiates consecutive velocity samples and adds zero-mean
+/// Gaussian-ish noise (sum of uniform samples) so that downstream kernels
+/// see realistic jitter.
+#[derive(Debug, Clone)]
+pub struct Imu {
+    accel_noise_std: f64,
+    gyro_noise_std: f64,
+    rng: StdRng,
+    previous_velocity: Option<Vec3>,
+    previous_yaw: Option<f64>,
+}
+
+impl Imu {
+    /// Creates an IMU with the given 1-sigma noise levels and RNG seed.
+    pub fn new(accel_noise_std: f64, gyro_noise_std: f64, seed: u64) -> Self {
+        Self {
+            accel_noise_std,
+            gyro_noise_std,
+            rng: StdRng::seed_from_u64(seed),
+            previous_velocity: None,
+            previous_yaw: None,
+        }
+    }
+
+    /// Creates a noise-free IMU (useful in tests).
+    pub fn ideal() -> Self {
+        Self::new(0.0, 0.0, 0)
+    }
+
+    /// Produces a measurement from the current velocity and yaw, given the
+    /// time since the previous measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn measure(&mut self, velocity: Vec3, yaw: f64, dt: f64) -> ImuSample {
+        assert!(dt > 0.0 && dt.is_finite(), "time step must be positive and finite");
+        let acceleration = match self.previous_velocity {
+            Some(previous) => (velocity - previous) / dt,
+            None => Vec3::ZERO,
+        };
+        let yaw_rate = match self.previous_yaw {
+            Some(previous) => crate::geometry::wrap_angle(yaw - previous) / dt,
+            None => 0.0,
+        };
+        self.previous_velocity = Some(velocity);
+        self.previous_yaw = Some(yaw);
+        ImuSample {
+            acceleration: acceleration
+                + Vec3::new(self.noise(self.accel_noise_std), self.noise(self.accel_noise_std), self.noise(self.accel_noise_std)),
+            yaw_rate: yaw_rate + self.noise(self.gyro_noise_std),
+        }
+    }
+
+    /// Approximately Gaussian zero-mean noise via the sum of three uniform
+    /// draws (Irwin–Hall), scaled to the requested standard deviation.
+    fn noise(&mut self, std: f64) -> f64 {
+        if std == 0.0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..3).map(|_| self.rng.gen_range(-1.0..1.0)).sum::<f64>();
+        sum / 3.0_f64.sqrt() * std / (2.0 / 3.0_f64.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvironmentKind;
+
+    #[test]
+    fn camera_sees_obstacle_directly_ahead() {
+        use crate::env::{Environment, Obstacle};
+        use crate::geometry::Aabb;
+        let env = Environment::new(
+            "unit",
+            Aabb::new(Vec3::new(-10.0, -10.0, 0.0), Vec3::new(30.0, 10.0, 10.0)),
+            vec![Obstacle::from_center(Vec3::new(10.0, 0.0, 2.0), Vec3::splat(4.0))],
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(25.0, 0.0, 2.0),
+        );
+        let camera = DepthCamera::default();
+        let frame = camera.capture(&env, &Pose::new(env.start(), 0.0));
+        assert!(!frame.points.is_empty());
+        // Every returned point lies on the obstacle within sensing range.
+        for point in &frame.points {
+            assert!(point.distance(env.start()) <= camera.max_range + 1e-9);
+        }
+        // Looking away from the obstacle sees nothing.
+        let behind = camera.capture(&env, &Pose::new(env.start(), std::f64::consts::PI));
+        assert!(behind.points.is_empty());
+    }
+
+    #[test]
+    fn camera_range_limits_detection() {
+        let env = EnvironmentKind::Sparse.build(5);
+        let short = DepthCamera { max_range: 0.1, ..DepthCamera::default() };
+        let frame = short.capture(&env, &Pose::new(env.start(), 0.0));
+        assert!(frame.points.is_empty());
+    }
+
+    #[test]
+    fn ideal_imu_differentiates_velocity() {
+        let mut imu = Imu::ideal();
+        let first = imu.measure(Vec3::new(1.0, 0.0, 0.0), 0.0, 0.1);
+        assert_eq!(first.acceleration, Vec3::ZERO);
+        let second = imu.measure(Vec3::new(2.0, 0.0, 0.0), 0.05, 0.1);
+        assert!((second.acceleration.x - 10.0).abs() < 1e-9);
+        assert!((second.yaw_rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_imu_is_deterministic_per_seed() {
+        let mut a = Imu::new(0.1, 0.01, 9);
+        let mut b = Imu::new(0.1, 0.01, 9);
+        for _ in 0..10 {
+            let sa = a.measure(Vec3::new(1.0, 2.0, 3.0), 0.2, 0.1);
+            let sb = b.measure(Vec3::new(1.0, 2.0, 3.0), 0.2, 0.1);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded_and_zero_mean_ish() {
+        let mut imu = Imu::new(0.5, 0.0, 3);
+        let mut sum = 0.0;
+        for _ in 0..500 {
+            let sample = imu.measure(Vec3::ZERO, 0.0, 0.1);
+            sum += sample.acceleration.x;
+        }
+        assert!((sum / 500.0).abs() < 0.2, "noise mean should be near zero");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the geometry and environment substrates.
+
+use mavfi_sim::geometry::{wrap_angle, Aabb, Vec3};
+use mavfi_sim::EnvironmentGenerator;
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0_f64
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite_coord(), finite_coord(), finite_coord()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vector_addition_commutes(a in vec3(), b in vec3()) {
+        let left = a + b;
+        let right = b + a;
+        prop_assert!((left - right).norm() < 1e-9);
+    }
+
+    #[test]
+    fn norm_is_non_negative_and_triangle_inequality_holds(a in vec3(), b in vec3()) {
+        prop_assert!(a.norm() >= 0.0);
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn normalized_vectors_have_unit_norm(a in vec3()) {
+        if let Some(unit) = a.normalized() {
+            prop_assert!((unit.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamp_norm_never_exceeds_limit(a in vec3(), limit in 0.01..50.0_f64) {
+        prop_assert!(a.clamp_norm(limit).norm() <= limit + 1e-9);
+    }
+
+    #[test]
+    fn aabb_contains_its_center_and_corners(a in vec3(), b in vec3()) {
+        let aabb = Aabb::new(a, b);
+        prop_assert!(aabb.contains(aabb.center()));
+        prop_assert!(aabb.contains(aabb.min));
+        prop_assert!(aabb.contains(aabb.max));
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in vec3(), b in vec3(), c in vec3(), d in vec3()) {
+        let aabb = Aabb::new(a, b);
+        prop_assert_eq!(aabb.intersects_segment(c, d), aabb.intersects_segment(d, c));
+    }
+
+    #[test]
+    fn segment_with_endpoint_inside_always_intersects(a in vec3(), b in vec3(), outside in vec3()) {
+        let aabb = Aabb::new(a, b);
+        let inside = aabb.center();
+        prop_assert!(aabb.intersects_segment(inside, outside));
+    }
+
+    #[test]
+    fn wrap_angle_is_idempotent_and_bounded(angle in -100.0..100.0_f64) {
+        let wrapped = wrap_angle(angle);
+        prop_assert!(wrapped > -std::f64::consts::PI - 1e-12);
+        prop_assert!(wrapped <= std::f64::consts::PI + 1e-12);
+        prop_assert!((wrap_angle(wrapped) - wrapped).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_environments_keep_start_and_goal_free(
+        density in 0.01..0.3_f64,
+        side in 2.0..12.0_f64,
+        seed in 0u64..500,
+    ) {
+        let env = EnvironmentGenerator::new(density, side).with_seed(seed).generate("prop");
+        prop_assert!(env.is_free(env.start(), 0.5));
+        prop_assert!(env.is_free(env.goal(), 0.5));
+        prop_assert!(env.bounds().contains(env.start()));
+        prop_assert!(env.bounds().contains(env.goal()));
+    }
+}

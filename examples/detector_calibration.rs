@@ -1,0 +1,39 @@
+//! Detector calibration and ablation: sweep the Gaussian `n_sigma` and the
+//! autoencoder threshold margin, and compare five detector families
+//! (Gaussian, EWMA, static range, Mahalanobis, autoencoder) on labelled
+//! corruption streams derived from real error-free telemetry.
+//!
+//! Run with: `cargo run --release --example detector_calibration`
+
+use mavfi::experiments::ablation::{self, AblationConfig};
+use mavfi::MavfiError;
+
+fn main() -> Result<(), MavfiError> {
+    // A small but real configuration: telemetry comes from actual missions
+    // in randomized environments, exactly like detector training in §V of
+    // the paper.  Increase `training_missions` / `epochs` for smoother
+    // curves.
+    let config = AblationConfig {
+        training_missions: 2,
+        mission_time_budget: 40.0,
+        epochs: 15,
+        ..AblationConfig::default()
+    };
+
+    println!("Collecting error-free telemetry and fitting all detector families...");
+    let result = ablation::run(&config)?;
+
+    println!();
+    println!("{}", result.to_table());
+
+    if let (Some(gad), Some(aad)) =
+        (result.detector("Gaussian (GAD)"), result.detector("Autoencoder (AAD)"))
+    {
+        println!(
+            "On in-range correlation-breaking corruption the autoencoder's AUC ({:.3}) vs the \
+             per-field Gaussian's ({:.3}) shows why the paper's AAD detects anomalies GAD cannot.",
+            aad.auc_correlation, gad.auc_correlation
+        );
+    }
+    Ok(())
+}

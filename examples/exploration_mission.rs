@@ -1,0 +1,114 @@
+//! Frontier exploration: instead of flying to a fixed delivery goal, the
+//! vehicle keeps choosing the nearest frontier (observed-free space next to
+//! unobserved space) until the area is covered, building its occupancy map
+//! from depth-camera frames as it goes.  This exercises the Fig. 1
+//! "Frontier Exploration" kernel together with the A* planner extension.
+//!
+//! Run with: `cargo run --release --example exploration_mission`
+
+use mavfi::prelude::*;
+
+fn main() {
+    let environment = EnvironmentKind::Sparse.build(21);
+    let bounds = environment.bounds();
+    let start = environment.start();
+    let mut world = World::new(
+        environment,
+        QuadrotorParams::default(),
+        PowerModel::default(),
+        MissionConfig { max_mission_time: 600.0, ..MissionConfig::default() },
+    );
+
+    let camera = DepthCamera::default();
+    let mut occupancy = OccupancyGrid::new(0.5);
+    let mut map = ExplorationMap::new(bounds, 6.0);
+    let frontier_planner = FrontierPlanner { altitude: start.z.max(2.0), min_goal_distance: 4.0 };
+    let planner_config = PlannerConfig::for_bounds(bounds).with_seed(21);
+
+    let dt = 0.1;
+    let sensing_radius = 12.0;
+    let cruise_speed = 3.0;
+    let mut current_path: Vec<Vec3> = Vec::new();
+    let mut goals_visited = 0;
+
+    println!("Exploring a {:.0} m x {:.0} m area...", bounds.max.x - bounds.min.x, bounds.max.y - bounds.min.y);
+    while world.status() == MissionStatus::InProgress {
+        let pose = world.vehicle().pose();
+        let position = world.vehicle().state().position;
+
+        // Perception: depth frame -> occupancy map -> coverage map.
+        let frame = camera.capture(world.environment(), &pose);
+        for point in &frame.points {
+            occupancy.insert_point(*point);
+        }
+        map.observe(position, sensing_radius, &occupancy);
+
+        // Planning: pick a frontier goal and plan a path to it when needed.
+        if current_path.is_empty() {
+            match frontier_planner.next_goal(&map, position) {
+                Some(goal) => {
+                    let mut planner = AStarPlanner::new(planner_config);
+                    if let Some(path) = planner.plan(&occupancy, position, goal) {
+                        current_path = path.waypoints;
+                        goals_visited += 1;
+                    } else {
+                        // Unreachable frontier: mark progress by observing it
+                        // from afar and move on next tick.
+                        map.observe(goal, 3.0, &occupancy);
+                    }
+                }
+                None => break, // fully explored
+            }
+        }
+
+        // Control: fly toward the next way-point of the current path.
+        while let Some(&next) = current_path.first() {
+            if position.distance(next) < 1.5 {
+                current_path.remove(0);
+            } else {
+                break;
+            }
+        }
+        let command = match current_path.first() {
+            Some(&target) => {
+                let direction = target - position;
+                let distance = direction.norm().max(1e-9);
+                // Keep the depth camera pointed along the direction of travel
+                // so the occupancy map grows where the vehicle is heading.
+                let desired_yaw = direction.y.atan2(direction.x);
+                let mut yaw_error = desired_yaw - pose.yaw;
+                while yaw_error > std::f64::consts::PI {
+                    yaw_error -= 2.0 * std::f64::consts::PI;
+                }
+                while yaw_error < -std::f64::consts::PI {
+                    yaw_error += 2.0 * std::f64::consts::PI;
+                }
+                let speed = if yaw_error.abs() > 0.8 { 0.8 } else { cruise_speed };
+                FlightCommand::new(direction * (speed / distance), yaw_error.clamp(-1.2, 1.2))
+            }
+            None => FlightCommand::HOLD,
+        };
+        world.step(&command, dt);
+
+        let steps = (world.elapsed() / dt).round() as u64;
+        if steps % 100 == 0 {
+            println!(
+                "  t = {:>5.1} s   coverage = {:>5.1}%   frontiers = {:<3}  goals visited = {}",
+                world.elapsed(),
+                map.coverage() * 100.0,
+                map.frontiers().len(),
+                goals_visited
+            );
+        }
+    }
+
+    println!();
+    println!("Exploration finished:");
+    println!("  status             : {:?}", world.status());
+    println!("  coverage           : {:.1}%", map.coverage() * 100.0);
+    println!("  exploration goals  : {goals_visited}");
+    println!("  flight time        : {:.1} s", world.elapsed());
+    println!("  distance flown     : {:.1} m", world.distance_travelled());
+    println!("  mission energy     : {:.1} kJ", world.energy_joules() / 1000.0);
+    println!("  occupied voxels    : {}", occupancy.occupied_count());
+}

@@ -1,0 +1,104 @@
+//! Beyond the paper's one-shot transient model: intermittent and permanent
+//! faults.
+//!
+//! The paper injects exactly one single-bit upset per mission.  Real silent
+//! data corruption ("cores that don't count") often recurs: the same
+//! marginal circuit corrupts a value every so often, or a register sticks
+//! permanently.  This example drives the closed PPC loop by hand with a
+//! [`RecurringInjector`] chained in front of the autoencoder detector and
+//! compares the quality of flight across recurrence patterns.
+//!
+//! Run with: `cargo run --release --example intermittent_faults`
+
+use mavfi::prelude::*;
+
+/// Flies one mission with an optional recurring fault and optional AAD
+/// protection, returning (status, flight time, alarms, corruptions).
+fn fly(
+    spec: MissionSpec,
+    fault: Option<RecurringFaultSpec>,
+    detectors: Option<&TrainedDetectors>,
+) -> (MissionStatus, f64, u64, u64) {
+    let environment = spec.environment.build(spec.seed);
+    let config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
+    let mut pipeline = PpcPipeline::new(config, environment.start(), environment.goal());
+    let camera = DepthCamera::default();
+    let mut world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+
+    let mut injector = fault.map(RecurringInjector::new);
+    let mut detector = detectors
+        .map(|trained| DetectorTap::new(DetectionScheme::Autoencoder(trained.aad.clone())));
+
+    let dt = spec.control_period;
+    while world.status() == MissionStatus::InProgress {
+        let frame = camera.capture(world.environment(), &world.vehicle().pose());
+        let command = match (&mut injector, &mut detector) {
+            (Some(injector), Some(detector)) => {
+                let mut tap = ChainTap::new(&mut *injector, &mut *detector);
+                pipeline.tick(&frame, &world.vehicle().state(), dt, &mut tap).command
+            }
+            (Some(injector), None) => {
+                pipeline.tick(&frame, &world.vehicle().state(), dt, &mut *injector).command
+            }
+            (None, Some(detector)) => {
+                pipeline.tick(&frame, &world.vehicle().state(), dt, &mut *detector).command
+            }
+            (None, None) => {
+                pipeline.tick(&frame, &world.vehicle().state(), dt, &mut NoopTap).command
+            }
+        };
+        world.step(&command, dt);
+    }
+
+    let alarms = detector.map(|d| d.stats().total_alarms()).unwrap_or(0);
+    let corruptions = injector.map(|i| i.occurrence_count()).unwrap_or(0);
+    (world.status(), world.elapsed(), alarms, corruptions)
+}
+
+fn main() {
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 52).with_time_budget(300.0);
+
+    println!("Training the autoencoder detector on error-free missions...");
+    let training = TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
+    let (detectors, _) = train_detectors(&training);
+
+    let base = FaultSpec {
+        target: InjectionTarget::State(StateField::WaypointX),
+        model: FaultModel::single_bit_in(BitField::Exponent),
+        trigger_tick: 40,
+        seed: 9_001,
+    };
+    let scenarios: Vec<(&str, Option<RecurringFaultSpec>)> = vec![
+        ("golden (no fault)", None),
+        ("transient (one-shot, paper model)", Some(RecurringFaultSpec::transient(base))),
+        ("intermittent (every 200 ticks)", Some(RecurringFaultSpec::intermittent(base, 200, 0))),
+        ("permanent (every tick)", Some(RecurringFaultSpec::permanent(base))),
+    ];
+
+    println!();
+    println!(
+        "{:<38} {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "scenario", "status", "time (s)", "corruptions", "", "AAD status", "AAD time (s)"
+    );
+    for (name, fault) in scenarios {
+        let (status, time, _, corruptions) = fly(spec, fault, None);
+        let (protected_status, protected_time, alarms, _) = fly(spec, fault, Some(&detectors));
+        println!(
+            "{:<38} {:>12} {:>12.1} {:>12} {:>12} | {:>12} {:>12.1}   ({alarms} alarms)",
+            name,
+            format!("{status:?}"),
+            time,
+            corruptions,
+            "",
+            format!("{protected_status:?}"),
+            protected_time,
+        );
+    }
+
+    println!();
+    println!(
+        "The one-shot transient matches the paper's model; recurring faults degrade the flight \
+         further, and the anomaly detector keeps absorbing them because detection is stateless \
+         across occurrences."
+    );
+}

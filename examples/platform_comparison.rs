@@ -1,0 +1,30 @@
+//! Platform and redundancy comparison: regenerates the paper's Fig. 8
+//! (DMR/TMR versus anomaly detection on two airframes) and the Fig. 9
+//! platform table (i9 versus Cortex-A57) from the cyber-physical visual
+//! performance model.
+//!
+//! Run with: `cargo run --release --example platform_comparison`
+
+use mavfi::experiments::{fig8, fig9};
+
+fn main() {
+    println!("=== Fig. 8: hardware redundancy vs software anomaly detection ===");
+    let fig8_result = fig8::run(&fig8::Fig8Config::default());
+    println!("{}", fig8_result.to_table());
+    if let (Some(airsim), Some(spark)) =
+        (fig8_result.tmr_energy_ratio("AirSim UAV"), fig8_result.tmr_energy_ratio("DJI Spark"))
+    {
+        println!(
+            "TMR costs {airsim:.2}x the energy of anomaly D&R on the AirSim UAV and {spark:.2}x on the DJI Spark."
+        );
+    }
+
+    println!();
+    println!("=== Fig. 9: desktop vs embedded companion computer ===");
+    let fig9_result = fig9::run(&fig9::Fig9Config::default(), None);
+    println!("{}", fig9_result.to_table());
+    println!(
+        "The embedded platform flies the mission {:.1}x slower than the desktop platform.",
+        fig9_result.embedded_slowdown()
+    );
+}

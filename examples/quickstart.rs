@@ -1,0 +1,47 @@
+//! Quickstart: fly one error-free mission and one mission with a single-bit
+//! fault in the planning stage, and compare the quality-of-flight metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mavfi::prelude::*;
+
+fn main() -> Result<(), MavfiError> {
+    // A package-delivery mission in the generated Sparse environment.
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 42).with_time_budget(300.0);
+    let runner = MissionRunner::new(spec);
+
+    println!("Flying the golden (error-free) mission...");
+    let golden = runner.run_golden();
+    println!(
+        "  status: {:?}, flight time: {:.1} s, energy: {:.1} kJ, distance: {:.1} m",
+        golden.qof.status,
+        golden.qof.flight_time_s,
+        golden.qof.energy_j / 1000.0,
+        golden.qof.distance_m
+    );
+
+    println!("Flying the same mission with a one-time single-bit fault in the planning stage...");
+    let fault = FaultSpec::new(InjectionTarget::Stage(Stage::Planning), 60, 7);
+    let faulty = runner.run(Some(fault), Protection::None, None)?;
+    println!(
+        "  status: {:?}, flight time: {:.1} s, energy: {:.1} kJ",
+        faulty.qof.status,
+        faulty.qof.flight_time_s,
+        faulty.qof.energy_j / 1000.0
+    );
+    if let Some(record) = &faulty.fault {
+        println!(
+            "  injected fault: tick {}, target {}, {:?} bit, {} -> {}",
+            record.tick,
+            record.target,
+            record.detail.field,
+            record.detail.original,
+            record.detail.corrupted
+        );
+    }
+
+    let inflation = (faulty.qof.flight_time_s - golden.qof.flight_time_s)
+        / golden.qof.flight_time_s.max(1e-9);
+    println!("Flight-time change caused by the fault: {:+.1}%", inflation * 100.0);
+    Ok(())
+}

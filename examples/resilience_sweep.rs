@@ -1,0 +1,34 @@
+//! Per-kernel resilience sweep: a reduced version of the paper's Fig. 3
+//! study (flight time and success rate when a single bit flip lands in each
+//! PPC kernel).
+//!
+//! Run with: `cargo run --release --example resilience_sweep`
+//!
+//! Set `MAVFI_RUNS` to change the number of injections per kernel
+//! (default 3).
+
+use mavfi::experiments::fig3::{self, Fig3Config};
+use mavfi::prelude::*;
+
+fn main() -> Result<(), MavfiError> {
+    let runs: usize = std::env::var("MAVFI_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    let config = Fig3Config {
+        runs_per_kernel: runs,
+        golden_runs: runs,
+        mission_time_budget: 300.0,
+        ..Fig3Config::default()
+    };
+    println!(
+        "Injecting {} single-bit faults into each of {} kernels in the {} environment...",
+        config.runs_per_kernel,
+        KernelId::FIG3_KERNELS.len(),
+        config.environment.label()
+    );
+    let result = fig3::run(&config)?;
+    println!("{}", result.to_table());
+    println!(
+        "Planning/control excess worst-case inflation over perception kernels: {:+.1}%",
+        result.planning_control_excess_inflation() * 100.0
+    );
+    Ok(())
+}

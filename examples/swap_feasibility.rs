@@ -1,0 +1,55 @@
+//! SWaP feasibility study: for every airframe, companion computer and
+//! protection scheme the paper considers, can the mission still be flown at
+//! all within the battery and thermal limits of a micro aerial vehicle?
+//!
+//! This extends the paper's Fig. 8 argument ("hardware redundancy brings
+//! higher compute power with higher thermal design power and weight") with
+//! explicit battery-margin and thermal-throttling numbers from
+//! `mavfi-platform`.
+//!
+//! Run with: `cargo run --release --example swap_feasibility`
+
+use mavfi_platform::prelude::*;
+
+fn main() {
+    let model = VisualPerformanceModel::default();
+
+    println!(
+        "{:<12} {:<12} {:<12} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "airframe", "platform", "scheme", "time (s)", "energy(kJ)", "margin(%)", "throttle", "feasible"
+    );
+
+    for uav in UavSpec::paper_uavs() {
+        let battery = BatteryModel::for_uav(&uav);
+        for platform in ComputePlatform::paper_platforms() {
+            let envelope = if platform.power_watts > 50.0 {
+                ThermalEnvelope::actively_cooled()
+            } else {
+                ThermalEnvelope::embedded_carrier()
+            };
+            for scheme in ProtectionScheme::FIG8_SCHEMES {
+                let estimate = model.evaluate(&uav, &platform, scheme);
+                let verdict = battery.assess(&estimate);
+                let throttle = envelope.throttle_factor(&platform, scheme);
+                println!(
+                    "{:<12} {:<12} {:<12} {:>9.1} {:>10.1} {:>10.1} {:>8.2}x {:>9}",
+                    uav.name,
+                    platform.name,
+                    scheme.label(),
+                    estimate.flight_time_s,
+                    estimate.energy_j / 1000.0,
+                    verdict.energy_margin() * 100.0,
+                    throttle,
+                    if verdict.feasible && throttle <= 1.0 + 1e-9 { "yes" } else { "NO" }
+                );
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "Redundant companion computers erode the battery margin and overrun the\n\
+         thermal envelope of small airframes, which is why the paper's software\n\
+         anomaly-detection scheme is the only protection that fits a micro UAV."
+    );
+}

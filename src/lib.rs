@@ -1,0 +1,28 @@
+//! `mavfi-suite` is the workspace-root helper package of the MAVFI
+//! reproduction.  It exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise the public APIs of every crate in the
+//! workspace.  All functionality lives in the member crates; this crate only
+//! re-exports them for convenience.
+//!
+//! # Examples
+//!
+//! ```
+//! use mavfi_suite::prelude::*;
+//!
+//! let env = EnvironmentKind::Sparse.build(7);
+//! assert!(env.obstacles().len() > 0);
+//! ```
+
+pub use mavfi;
+pub use mavfi_detect;
+pub use mavfi_fault;
+pub use mavfi_middleware;
+pub use mavfi_nn;
+pub use mavfi_platform;
+pub use mavfi_ppc;
+pub use mavfi_sim;
+
+/// Convenience re-exports used by the examples and integration tests.
+pub mod prelude {
+    pub use mavfi::prelude::*;
+}

@@ -1,0 +1,100 @@
+//! Integration tests of the anomaly detection and recovery schemes running
+//! inside full missions.
+
+use mavfi_suite::prelude::*;
+
+fn quick_detectors() -> TrainedDetectors {
+    let training = TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
+    train_detectors(&training).0
+}
+
+/// A way-point exponent flip is the clearest failure mode of the paper's
+/// Fig. 7: the vehicle chases a wildly wrong way-point until it replans.
+fn waypoint_exponent_fault(trigger_tick: u64, seed: u64) -> FaultSpec {
+    FaultSpec {
+        target: InjectionTarget::State(StateField::WaypointX),
+        model: FaultModel::single_bit_in(BitField::Exponent),
+        trigger_tick,
+        seed,
+    }
+}
+
+#[test]
+fn detectors_stay_quiet_on_error_free_missions() {
+    let detectors = quick_detectors();
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 33).with_time_budget(240.0);
+    let runner = MissionRunner::new(spec);
+    for protection in [Protection::Gaussian, Protection::Autoencoder] {
+        let outcome = runner.run(None, protection, Some(&detectors)).unwrap();
+        assert!(outcome.is_success(), "{protection:?} run failed: {:?}", outcome.qof.status);
+        let stats = outcome.detector.expect("detector stats recorded");
+        let false_alarm_rate = stats.total_alarms() as f64 / stats.ticks.max(1) as f64;
+        assert!(
+            false_alarm_rate < 0.05,
+            "{protection:?} raised too many false alarms: {} in {} ticks",
+            stats.total_alarms(),
+            stats.ticks
+        );
+    }
+}
+
+#[test]
+fn detectors_flag_injected_waypoint_corruption() {
+    let detectors = quick_detectors();
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 52).with_time_budget(300.0);
+    let runner = MissionRunner::new(spec);
+    let fault = waypoint_exponent_fault(40, 9_001);
+
+    for protection in [Protection::Gaussian, Protection::Autoencoder] {
+        let outcome = runner.run(Some(fault), protection, Some(&detectors)).unwrap();
+        assert!(outcome.fault.is_some(), "fault must fire under {protection:?}");
+        let stats = outcome.detector.expect("detector stats recorded");
+        assert!(
+            stats.total_alarms() >= 1,
+            "{protection:?} missed an exponent-flip way-point corruption"
+        );
+    }
+}
+
+#[test]
+fn recovery_restores_flight_time_relative_to_unprotected_run() {
+    let detectors = quick_detectors();
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 52).with_time_budget(300.0);
+    let runner = MissionRunner::new(spec);
+    let fault = waypoint_exponent_fault(40, 9_001);
+
+    let golden = runner.run_golden();
+    let faulty = runner.run(Some(fault), Protection::None, None).unwrap();
+    let recovered = runner.run(Some(fault), Protection::Autoencoder, Some(&detectors)).unwrap();
+
+    assert!(golden.is_success());
+    // The protected run must not be materially worse than the unprotected
+    // faulty run, and should land close to the golden flight time.
+    if faulty.is_success() {
+        assert!(
+            recovered.qof.flight_time_s <= faulty.qof.flight_time_s * 1.10 + 5.0,
+            "recovered flight ({:.1} s) worse than unprotected faulty flight ({:.1} s)",
+            recovered.qof.flight_time_s,
+            faulty.qof.flight_time_s
+        );
+    } else {
+        assert!(recovered.is_success(), "recovery should rescue a failed mission");
+    }
+}
+
+#[test]
+fn gaussian_recovery_triggers_stage_recomputation() {
+    let detectors = quick_detectors();
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 52).with_time_budget(300.0);
+    let runner = MissionRunner::new(spec);
+    let fault = waypoint_exponent_fault(40, 9_001);
+    let outcome = runner.run(Some(fault), Protection::Gaussian, Some(&detectors)).unwrap();
+    let stats = outcome.detector.unwrap();
+    assert!(
+        stats.total_recomputations() >= 1,
+        "the Gaussian scheme recovers by recomputing the offending stage"
+    );
+    // The pipeline recorded those recomputations too.
+    let pipeline_recomputes: u64 = outcome.pipeline.recomputations.values().sum();
+    assert!(pipeline_recomputes >= 1);
+}

@@ -1,0 +1,58 @@
+//! Cross-crate integration tests: golden missions through the full stack
+//! (simulator + PPC pipeline + runner).
+
+use mavfi_suite::prelude::*;
+
+#[test]
+fn golden_mission_succeeds_in_farm() {
+    let spec = MissionSpec::new(EnvironmentKind::Farm, 11).with_time_budget(240.0);
+    let outcome = MissionRunner::new(spec).run_golden();
+    assert!(outcome.is_success(), "farm golden run failed: {:?}", outcome.qof.status);
+    assert!(outcome.qof.flight_time_s > 5.0);
+    assert!(outcome.qof.energy_j > 0.0);
+    assert!(outcome.qof.distance_m > 50.0, "the farm mission is a long diagonal");
+}
+
+#[test]
+fn golden_mission_succeeds_in_sparse() {
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 4).with_time_budget(240.0);
+    let outcome = MissionRunner::new(spec).run_golden();
+    assert!(outcome.is_success(), "sparse golden run failed: {:?}", outcome.qof.status);
+    // The trajectory starts at the environment start point.
+    let env = EnvironmentKind::Sparse.build(4);
+    assert_eq!(outcome.trail[0], env.start());
+    // The vehicle ends near the goal.
+    let last = *outcome.trail.last().unwrap();
+    assert!(last.distance(env.goal()) < 3.0);
+}
+
+#[test]
+fn missions_are_deterministic_across_runs() {
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 21).with_time_budget(200.0);
+    let a = MissionRunner::new(spec).run_golden();
+    let b = MissionRunner::new(spec).run_golden();
+    assert_eq!(a.qof, b.qof);
+    assert_eq!(a.trail, b.trail);
+    assert_eq!(a.pipeline.ticks, b.pipeline.ticks);
+}
+
+#[test]
+fn different_seeds_produce_different_flights() {
+    let a = MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 1).with_time_budget(200.0))
+        .run_golden();
+    let b = MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 2).with_time_budget(200.0))
+        .run_golden();
+    assert_ne!(a.trail, b.trail, "different seeds should generate different environments");
+}
+
+#[test]
+fn pipeline_statistics_are_populated() {
+    let spec = MissionSpec::new(EnvironmentKind::Farm, 3).with_time_budget(120.0);
+    let outcome = MissionRunner::new(spec).run_golden();
+    let stats = &outcome.pipeline;
+    assert!(stats.ticks > 10);
+    assert!(stats.invocations(KernelId::PointCloudGeneration) >= stats.ticks);
+    assert!(stats.invocations(KernelId::OctoMap) >= stats.ticks);
+    assert!(stats.replans >= 1, "at least the initial plan must have happened");
+    assert!(stats.total_compute_ms() > 0.0);
+}
