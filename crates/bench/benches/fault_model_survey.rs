@@ -24,7 +24,8 @@ fn run_experiment() {
 fn bench(c: &mut Criterion) {
     run_experiment();
 
-    let values: Vec<f64> = (1..200).map(|i| (i as f64) * 0.37 - 20.0).filter(|v| *v != 0.0).collect();
+    let values: Vec<f64> =
+        (1..200).map(|i| (i as f64) * 0.37 - 20.0).filter(|v| *v != 0.0).collect();
     let mut group = c.benchmark_group("fault_model");
     group.bench_function("flip_survey_200_values", |b| {
         b.iter(|| FlipSurvey::over_values(&values, SeverityThresholds::default()))

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mavfi::experiments::fig4::{self, Fig4Config};
 use mavfi::prelude::*;
-use mavfi_bench::{print_experiment, runs_per_target};
+use mavfi_bench::{print_campaign_experiment, runs_per_target};
 
 fn run_experiment() {
     let runs = runs_per_target(2);
@@ -18,7 +18,7 @@ fn run_experiment() {
         ..Fig4Config::default()
     };
     let result = fig4::run(&config).expect("fig4 experiment");
-    print_experiment(
+    print_campaign_experiment(
         &format!("Fig. 4 — per-state fault sensitivity ({runs} runs/state, Sparse)"),
         &result.to_table(),
     );

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mavfi::experiments::fig6;
 use mavfi::experiments::table1::Table1Config;
 use mavfi::prelude::*;
-use mavfi_bench::{print_experiment, runs_per_target};
+use mavfi_bench::{print_campaign_experiment, runs_per_target};
 
 fn run_experiment() {
     let runs = runs_per_target(1);
@@ -16,16 +16,24 @@ fn run_experiment() {
         golden_runs: runs.max(1) * 2,
         injections_per_stage: runs,
         mission_time_budget: 300.0,
-        training: TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() },
+        training: TrainingSpec {
+            missions: 2,
+            mission_time_budget: 40.0,
+            epochs: 15,
+            ..TrainingSpec::default()
+        },
         ..Table1Config::default()
     };
     let (result, _detectors) = fig6::run(&config).expect("fig6 campaign");
-    print_experiment(
+    print_campaign_experiment(
         "Fig. 6 — flight time: worst-case inflation and recovery per environment",
         &result.to_table(),
     );
     for (environment, recovery) in result.autoencoder_recoveries() {
-        println!("  {environment}: autoencoder recovers {:.1}% of the worst-case inflation", recovery * 100.0);
+        println!(
+            "  {environment}: autoencoder recovers {:.1}% of the worst-case inflation",
+            recovery * 100.0
+        );
     }
 }
 

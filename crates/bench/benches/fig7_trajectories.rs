@@ -8,12 +8,21 @@ use mavfi::experiments::fig7::{self, Fig7Config};
 use mavfi::prelude::*;
 use mavfi_bench::print_experiment;
 
-fn run_experiment() -> TrainedDetectors {
-    let training = TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() };
-    let (detectors, _) = train_detectors(&training);
+fn run_experiment() -> std::sync::Arc<TrainedDetectors> {
+    let training = TrainingSpec {
+        missions: 2,
+        mission_time_budget: 40.0,
+        epochs: 15,
+        ..TrainingSpec::default()
+    };
+    // Any other experiment in this process with the same training
+    // configuration reuses the bank instead of retraining.
+    let detectors =
+        TrainedDetectorCache::global().get_or_train(EnvironmentKind::Randomized, &training);
 
     for (stage, name) in [(Stage::Perception, "perception"), (Stage::Planning, "planning")] {
-        let config = Fig7Config { fault_stage: stage, mission_time_budget: 300.0, ..Fig7Config::default() };
+        let config =
+            Fig7Config { fault_stage: stage, mission_time_budget: 300.0, ..Fig7Config::default() };
         let result = fig7::run(&config, &detectors).expect("fig7 flights");
         print_experiment(
             &format!("Fig. 7 — trajectories with a fault in the {} stage (Dense)", stage.label()),
@@ -23,8 +32,10 @@ fn run_experiment() -> TrainedDetectors {
         if std::fs::create_dir_all(&dir).is_ok() {
             let _ = std::fs::write(dir.join(format!("{name}_golden.csv")), result.golden.to_csv());
             let _ = std::fs::write(dir.join(format!("{name}_fault.csv")), result.faulty.to_csv());
-            let _ =
-                std::fs::write(dir.join(format!("{name}_recovered.csv")), result.recovered.to_csv());
+            let _ = std::fs::write(
+                dir.join(format!("{name}_recovered.csv")),
+                result.recovered.to_csv(),
+            );
             println!("  trajectories written to {}", dir.display());
         }
     }

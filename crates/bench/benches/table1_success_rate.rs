@@ -7,19 +7,24 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mavfi::experiments::table1::{self, Table1Config};
 use mavfi::prelude::*;
-use mavfi_bench::{print_experiment, runs_per_target};
+use mavfi_bench::{print_campaign_experiment, runs_per_target};
 
-fn run_experiment() -> TrainedDetectors {
+fn run_experiment() -> std::sync::Arc<TrainedDetectors> {
     let runs = runs_per_target(1);
     let config = Table1Config {
         golden_runs: runs.max(1) * 2,
         injections_per_stage: runs,
         mission_time_budget: 300.0,
-        training: TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() },
+        training: TrainingSpec {
+            missions: 2,
+            mission_time_budget: 40.0,
+            epochs: 15,
+            ..TrainingSpec::default()
+        },
         ..Table1Config::default()
     };
     let (result, detectors) = table1::run(&config).expect("table1 campaign");
-    print_experiment(
+    print_campaign_experiment(
         &format!(
             "Table I — flight success rate (Factory/Farm/Sparse/Dense, {} injections/stage)",
             config.injections_per_stage
@@ -38,7 +43,7 @@ fn bench(c: &mut Criterion) {
             let spec = MissionSpec::new(EnvironmentKind::Farm, 5).with_time_budget(150.0);
             let fault = FaultSpec::new(InjectionTarget::Stage(Stage::Control), 30, 2);
             MissionRunner::new(spec)
-                .run(Some(fault), Protection::Autoencoder, Some(&detectors))
+                .run(Some(fault), Protection::Autoencoder, Some(&*detectors))
                 .unwrap()
         })
     });

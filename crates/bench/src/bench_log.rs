@@ -1,0 +1,86 @@
+//! Append-only performance log shared by the bench targets.
+//!
+//! Every simulation-backed bench can [`record`] named scalar metrics
+//! (ticks/sec, ns/score, …).  Records accumulate as a JSON array in
+//! `BENCH_4.json` at the repository root (override the path with the
+//! `MAVFI_BENCH_LOG` environment variable), so the performance trajectory of
+//! the hot tick path is tracked across PRs: each entry carries a Unix
+//! timestamp, the bench name, the metric name, the value and its unit, plus
+//! a free-form note (used to tag pre-/post-refactor measurements).
+
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::Value;
+
+/// Resolves the log path: `MAVFI_BENCH_LOG` if set, otherwise
+/// `BENCH_4.json` in the workspace root.
+pub fn log_path() -> PathBuf {
+    if let Ok(path) = std::env::var("MAVFI_BENCH_LOG") {
+        return PathBuf::from(path);
+    }
+    // CARGO_MANIFEST_DIR is crates/bench; the log lives two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_4.json")
+}
+
+/// Appends one metric record to the bench log and echoes it to stdout.
+///
+/// Failures to read or parse an existing log are not fatal: the log is
+/// restarted rather than aborting the bench run (the measurement still
+/// reaches stdout).
+pub fn record(bench: &str, metric: &str, value: f64, unit: &str, note: &str) {
+    let timestamp = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    println!("[bench-log] {bench}/{metric} = {value:.3} {unit} ({note})");
+
+    let path = log_path();
+    let mut entries: Vec<Value> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|value| value.as_seq().map(<[Value]>::to_vec))
+        .unwrap_or_default();
+    entries.push(Value::Map(vec![
+        ("timestamp".to_owned(), Value::UInt(timestamp)),
+        ("bench".to_owned(), Value::Str(bench.to_owned())),
+        ("metric".to_owned(), Value::Str(metric.to_owned())),
+        ("value".to_owned(), Value::Float(value)),
+        ("unit".to_owned(), Value::Str(unit.to_owned())),
+        ("note".to_owned(), Value::Str(note.to_owned())),
+    ]));
+    let rendered = serde_json::to_string_pretty(&Value::Seq(entries))
+        .expect("bench log entries always serialize");
+    if let Err(error) = std::fs::write(&path, rendered + "\n") {
+        eprintln!("[bench-log] could not write {}: {error}", path.display());
+    }
+}
+
+/// The note attached to new records: `MAVFI_BENCH_NOTE` if set, otherwise
+/// the provided default.
+pub fn note_or(default: &str) -> String {
+    std::env::var("MAVFI_BENCH_NOTE").unwrap_or_else(|_| default.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_append_to_the_configured_log() {
+        let dir = std::env::temp_dir().join("mavfi_bench_log_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("MAVFI_BENCH_LOG", &path);
+        record("unit_test", "metric_a", 1.5, "widgets/s", "first");
+        record("unit_test", "metric_b", 2.5, "ns", "second");
+        std::env::remove_var("MAVFI_BENCH_LOG");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        let entries = parsed.as_seq().unwrap();
+        assert_eq!(entries.len(), 2);
+        let first = entries[0].as_map().unwrap();
+        assert!(first.iter().any(|(k, v)| k == "metric" && v.as_str() == Some("metric_a")));
+        assert!(first.iter().any(|(k, v)| k == "value" && v.as_f64() == Some(1.5)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_log;
+
 /// Reads the `MAVFI_RUNS` environment variable controlling how many runs
 /// per target the simulation-backed benches execute.
 ///
@@ -12,6 +14,17 @@
 /// minutes rather than days.
 pub fn runs_per_target(default: usize) -> usize {
     std::env::var("MAVFI_RUNS").ok().and_then(|value| value.parse().ok()).unwrap_or(default)
+}
+
+/// The worker count the campaign engine will fan missions out over,
+/// honouring `MAVFI_WORKERS` and falling back to the available cores.
+///
+/// Every simulation-backed experiment driver (Table I/II, Figs. 3, 4, 6, 7)
+/// runs its missions through [`mavfi::exec::CampaignExecutor`], which reads
+/// the same configuration; this helper only exists so bench banners can
+/// report the fan-out that will be used.
+pub fn campaign_workers() -> usize {
+    mavfi::exec::CampaignExecutor::from_env().workers()
 }
 
 /// Prints a banner followed by a pre-rendered table, so every bench target
@@ -22,6 +35,16 @@ pub fn print_experiment(title: &str, table: &str) {
     println!("{title}");
     println!("================================================================");
     println!("{table}");
+}
+
+/// [`print_experiment`] for benches whose missions fan out through
+/// [`mavfi::exec::CampaignExecutor`]: the banner additionally reports the
+/// worker count so recorded output can be matched to its fan-out.  Benches
+/// that never run a campaign (pure performance-model or fault-model math)
+/// use plain [`print_experiment`] — their numbers do not depend on
+/// `MAVFI_WORKERS`.
+pub fn print_campaign_experiment(title: &str, table: &str) {
+    print_experiment(&format!("{title} [campaign workers: {}]", campaign_workers()), table);
 }
 
 #[cfg(test)]
@@ -37,5 +60,10 @@ mod tests {
     #[test]
     fn print_experiment_does_not_panic() {
         print_experiment("title", "| a |\n");
+    }
+
+    #[test]
+    fn campaign_workers_is_at_least_one() {
+        assert!(campaign_workers() >= 1);
     }
 }

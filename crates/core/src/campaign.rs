@@ -2,20 +2,17 @@
 //! recovery runs over an environment, mirroring the paper's evaluation
 //! protocol (§VI).
 
-use mavfi_fault::campaign::TriggerWindow;
+use std::sync::Arc;
+
 use mavfi_fault::injector::FaultSpec;
-use mavfi_fault::model::FaultModel;
-use mavfi_fault::target::InjectionTarget;
 use mavfi_ppc::states::Stage;
 use mavfi_sim::env::EnvironmentKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{MissionSpec, Protection};
 use crate::error::MavfiError;
+use crate::exec::{CampaignExecutor, SchemeConfig, WorkerPool};
 use crate::qof::{QofMetrics, QofSummary};
-use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+use crate::runner::TrainedDetectors;
 
 /// Configuration of one environment's campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,7 +67,7 @@ pub struct SettingResult {
 }
 
 impl SettingResult {
-    fn new(label: impl Into<String>, runs: Vec<QofMetrics>) -> Self {
+    pub(crate) fn new(label: impl Into<String>, runs: Vec<QofMetrics>) -> Self {
         let summary = QofSummary::from_runs(&runs);
         Self { label: label.into(), runs, summary }
     }
@@ -108,15 +105,43 @@ impl EnvironmentCampaign {
 }
 
 /// Runs campaigns using a shared set of trained detectors.
+///
+/// This is a thin configuration wrapper around the
+/// [`CampaignExecutor`] engine: every run's seed is a pure function of the
+/// campaign base seed and the run index, the trained detectors are shared
+/// immutably across workers, and results are folded in run-index order — so
+/// campaign output is byte-identical for any worker count (see
+/// `tests/parallel_determinism.rs`).
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
-    detectors: TrainedDetectors,
+    detectors: Arc<TrainedDetectors>,
+    executor: CampaignExecutor,
 }
 
 impl CampaignRunner {
-    /// Creates a campaign runner around trained detectors.
+    /// Creates a campaign runner around trained detectors, parallelised
+    /// according to `MAVFI_WORKERS` / available cores.
     pub fn new(detectors: TrainedDetectors) -> Self {
-        Self { detectors }
+        Self { detectors: Arc::new(detectors), executor: CampaignExecutor::from_env() }
+    }
+
+    /// Overrides the worker pool used for mission fan-out.
+    #[must_use]
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.executor = CampaignExecutor::with_pool(pool);
+        self
+    }
+
+    /// Convenience for [`with_pool`](Self::with_pool) with a fixed worker
+    /// count.
+    #[must_use]
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.with_pool(WorkerPool::new(workers))
+    }
+
+    /// The engine running this campaign's missions.
+    pub fn executor(&self) -> CampaignExecutor {
+        self.executor
     }
 
     /// The trained detectors used for the D&R settings.
@@ -126,25 +151,7 @@ impl CampaignRunner {
 
     /// Builds the per-stage fault specifications of a campaign.
     pub fn plan_faults(config: &CampaignConfig) -> Vec<FaultSpec> {
-        let mut rng = StdRng::seed_from_u64(config.base_seed ^ 0x5eed_fa01);
-        let window = TriggerWindow::default();
-        let mut specs = Vec::with_capacity(config.injections_per_stage * Stage::ALL.len());
-        for stage in Stage::ALL {
-            for _ in 0..config.injections_per_stage {
-                specs.push(FaultSpec {
-                    target: InjectionTarget::Stage(stage),
-                    model: FaultModel::default(),
-                    trigger_tick: rng.gen_range(window.start..window.end),
-                    seed: rng.gen(),
-                });
-            }
-        }
-        specs
-    }
-
-    fn mission_spec(config: &CampaignConfig, run_index: u64) -> MissionSpec {
-        MissionSpec::new(config.environment, config.base_seed.wrapping_add(run_index * 31 + 1))
-            .with_time_budget(config.mission_time_budget)
+        CampaignExecutor::plan_faults(config).specs().to_vec()
     }
 
     /// Runs the golden, injection and both D&R settings for one
@@ -153,69 +160,11 @@ impl CampaignRunner {
     /// # Errors
     ///
     /// Propagates runner errors (none are expected with trained detectors).
-    pub fn run_environment(&self, config: &CampaignConfig) -> Result<EnvironmentCampaign, MavfiError> {
-        // Golden runs.
-        let mut golden_runs = Vec::with_capacity(config.golden_runs);
-        let mut golden_ticks = 0u64;
-        let mut golden_compute_ms = 0.0;
-        for index in 0..config.golden_runs {
-            let spec = Self::mission_spec(config, index as u64);
-            let outcome = MissionRunner::new(spec).run_golden();
-            golden_ticks += outcome.pipeline.ticks;
-            golden_compute_ms += outcome.pipeline.total_compute_ms();
-            golden_runs.push(outcome.qof);
-        }
-        let golden_divisor = config.golden_runs.max(1) as f64;
-        let golden_mean_ticks = golden_ticks as f64 / golden_divisor;
-        let golden_mean_compute_ms = golden_compute_ms / golden_divisor;
-
-        // Faulty runs under each protection setting, using the same fault
-        // list for a paired comparison.
-        let faults = Self::plan_faults(config);
-        let mut injected_runs = Vec::with_capacity(faults.len());
-        let mut gaussian_runs = Vec::with_capacity(faults.len());
-        let mut autoencoder_runs = Vec::with_capacity(faults.len());
-        let mut gaussian_recomputations: Vec<(Stage, u64)> =
-            Stage::ALL.iter().map(|stage| (*stage, 0)).collect();
-        let mut autoencoder_recomputations: Vec<(Stage, u64)> =
-            Stage::ALL.iter().map(|stage| (*stage, 0)).collect();
-
-        for (index, fault) in faults.iter().enumerate() {
-            let spec = Self::mission_spec(config, index as u64);
-            let runner = MissionRunner::new(spec);
-
-            injected_runs.push(runner.run(Some(*fault), Protection::None, None)?.qof);
-
-            let gaussian =
-                runner.run(Some(*fault), Protection::Gaussian, Some(&self.detectors))?;
-            Self::accumulate_recomputations(&gaussian, &mut gaussian_recomputations);
-            gaussian_runs.push(gaussian.qof);
-
-            let autoencoder =
-                runner.run(Some(*fault), Protection::Autoencoder, Some(&self.detectors))?;
-            Self::accumulate_recomputations(&autoencoder, &mut autoencoder_recomputations);
-            autoencoder_runs.push(autoencoder.qof);
-        }
-
-        Ok(EnvironmentCampaign {
-            environment: config.environment,
-            golden: SettingResult::new("Golden Run", golden_runs),
-            injected: SettingResult::new("Injection Run", injected_runs),
-            gaussian: SettingResult::new("Gaussian-based", gaussian_runs),
-            autoencoder: SettingResult::new("Autoencoder-based", autoencoder_runs),
-            gaussian_recomputations,
-            autoencoder_recomputations,
-            golden_mean_ticks,
-            golden_mean_compute_ms,
-        })
-    }
-
-    fn accumulate_recomputations(outcome: &MissionOutcome, totals: &mut [(Stage, u64)]) {
-        if let Some(stats) = &outcome.detector {
-            for (stage, total) in totals.iter_mut() {
-                *total += stats.recomputations.get(stage).copied().unwrap_or(0);
-            }
-        }
+    pub fn run_environment(
+        &self,
+        config: &CampaignConfig,
+    ) -> Result<EnvironmentCampaign, MavfiError> {
+        self.executor.run_campaign(config, &SchemeConfig::shared(Arc::clone(&self.detectors)))
     }
 }
 
@@ -226,12 +175,8 @@ mod tests {
     use crate::training::train_detectors;
 
     fn quick_detectors() -> TrainedDetectors {
-        let spec = TrainingSpec {
-            missions: 1,
-            base_seed: 77,
-            mission_time_budget: 25.0,
-            epochs: 5,
-        };
+        let spec =
+            TrainingSpec { missions: 1, base_seed: 77, mission_time_budget: 25.0, epochs: 5 };
         train_detectors(&spec).0
     }
 

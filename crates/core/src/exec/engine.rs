@@ -1,0 +1,493 @@
+//! The campaign execution engine: one sharded, order-restoring pass over a
+//! campaign's full run list.
+//!
+//! [`CampaignExecutor`] builds the complete run list of a campaign — golden
+//! runs plus every planned per-stage injection — and shards it across a
+//! [`WorkerPool`].  Each run's seed is derived from `(base_seed, run_index)`
+//! exactly as in the sequential path, and [`MissionOutcome`]s stream through
+//! the pool's order-restoring aggregator, so the assembled
+//! [`EnvironmentCampaign`] is byte-identical to sequential execution for any
+//! worker count while bulky per-run artifacts (sampled trails) are dropped
+//! as soon as their statistics are folded in.
+
+use std::sync::Arc;
+
+use mavfi_fault::campaign::CampaignPlan;
+use mavfi_fault::injector::FaultSpec;
+use mavfi_ppc::states::Stage;
+use mavfi_sim::env::EnvironmentKind;
+
+use crate::campaign::{CampaignConfig, EnvironmentCampaign, SettingResult};
+use crate::config::{MissionSpec, Protection, TrainingSpec};
+use crate::error::MavfiError;
+use crate::exec::cache::TrainedDetectorCache;
+use crate::exec::pool::WorkerPool;
+use crate::qof::{QofMetrics, QofSummary};
+use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+
+/// Where a campaign's trained detectors come from.
+#[derive(Debug, Clone)]
+pub enum DetectorSource {
+    /// An already-trained bank, shared as-is.
+    Shared(Arc<TrainedDetectors>),
+    /// Train on demand (or reuse) via the global
+    /// [`TrainedDetectorCache`], keyed by the training environment and
+    /// configuration.
+    Cached {
+        /// Environment kind the training missions fly in.
+        environment: EnvironmentKind,
+        /// Training configuration.
+        training: TrainingSpec,
+    },
+}
+
+/// The detection & recovery setup a campaign evaluates: which trained
+/// detectors supervise the D&R(G) and D&R(A) settings, and where they come
+/// from.
+#[derive(Debug, Clone)]
+pub struct SchemeConfig {
+    source: DetectorSource,
+}
+
+impl SchemeConfig {
+    /// Uses an already-trained detector bank.
+    pub fn trained(detectors: TrainedDetectors) -> Self {
+        Self::shared(Arc::new(detectors))
+    }
+
+    /// Uses an already-shared detector bank without cloning it.
+    pub fn shared(detectors: Arc<TrainedDetectors>) -> Self {
+        Self { source: DetectorSource::Shared(detectors) }
+    }
+
+    /// Trains (or reuses) detectors through the global
+    /// [`TrainedDetectorCache`] for the given training environment and
+    /// configuration.
+    pub fn cached(environment: EnvironmentKind, training: TrainingSpec) -> Self {
+        Self { source: DetectorSource::Cached { environment, training } }
+    }
+
+    /// [`SchemeConfig::cached`] with the paper's randomized training
+    /// environments.
+    pub fn cached_default(training: TrainingSpec) -> Self {
+        Self::cached(EnvironmentKind::Randomized, training)
+    }
+
+    /// Resolves the detector bank, training it now if it is cache-sourced
+    /// and missing.
+    pub fn detectors(&self) -> Arc<TrainedDetectors> {
+        match &self.source {
+            DetectorSource::Shared(detectors) => Arc::clone(detectors),
+            DetectorSource::Cached { environment, training } => {
+                TrainedDetectorCache::global().get_or_train(*environment, training)
+            }
+        }
+    }
+}
+
+/// An injection-only campaign: golden baseline runs plus a planned list of
+/// unprotected fault injections (the shape of the Fig. 3 per-kernel and
+/// Fig. 4 per-state sensitivity studies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionSweep {
+    /// Environment under test.
+    pub environment: EnvironmentKind,
+    /// Base seed; run seeds derive from it and the run index.
+    pub base_seed: u64,
+    /// Mission time budget per run (s).
+    pub mission_time_budget: f64,
+    /// Number of error-free baseline runs.
+    pub golden_runs: usize,
+    /// Injections per target in `plan` (used to derive each injection's
+    /// mission seed from its position, exactly like the sequential loops).
+    /// Must divide `plan.len()`; [`CampaignExecutor::run_sweep`] checks
+    /// this, since a mismatch would silently skew seeds and per-target
+    /// grouping.
+    pub runs_per_target: usize,
+    /// The planned injections, grouped by target.
+    pub plan: CampaignPlan,
+}
+
+/// Results of an [`InjectionSweep`]: per-run QoF metrics in run order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Golden-run metrics, in run order.
+    pub golden: Vec<QofMetrics>,
+    /// Injection-run metrics, in plan order (grouped by target).
+    pub injected: Vec<QofMetrics>,
+}
+
+impl SweepOutcome {
+    /// QoF summaries of consecutive `group_size` chunks of the injection
+    /// runs — one summary per target for a plan built with
+    /// `runs_per_target == group_size`.
+    pub fn injected_groups(&self, group_size: usize) -> Vec<QofSummary> {
+        self.injected.chunks(group_size.max(1)).map(QofSummary::from_runs).collect()
+    }
+}
+
+/// All mission outcomes derived from one planned fault, keeping the paired
+/// injection / Gaussian / autoencoder comparison together per job.
+struct FaultSettingOutcomes {
+    injected: QofMetrics,
+    gaussian: MissionOutcome,
+    autoencoder: MissionOutcome,
+}
+
+/// One entry of a campaign's unified run list.
+enum CampaignJob {
+    Golden(u64),
+    Fault(usize, FaultSpec),
+}
+
+/// What one campaign job produced (trimmed to what aggregation needs).
+enum JobOutcome {
+    Golden { qof: QofMetrics, ticks: u64, compute_ms: f64 },
+    Fault(Box<FaultSettingOutcomes>),
+}
+
+/// Streaming aggregate of a campaign; folded in run-index order, so every
+/// sum matches the sequential loop bit for bit.
+struct CampaignAggregate {
+    golden_runs: Vec<QofMetrics>,
+    golden_ticks: u64,
+    golden_compute_ms: f64,
+    injected_runs: Vec<QofMetrics>,
+    gaussian_runs: Vec<QofMetrics>,
+    autoencoder_runs: Vec<QofMetrics>,
+    gaussian_recomputations: Vec<(Stage, u64)>,
+    autoencoder_recomputations: Vec<(Stage, u64)>,
+}
+
+impl CampaignAggregate {
+    fn new(config: &CampaignConfig) -> Self {
+        let faults = config.injections_per_stage * Stage::ALL.len();
+        Self {
+            golden_runs: Vec::with_capacity(config.golden_runs),
+            golden_ticks: 0,
+            golden_compute_ms: 0.0,
+            injected_runs: Vec::with_capacity(faults),
+            gaussian_runs: Vec::with_capacity(faults),
+            autoencoder_runs: Vec::with_capacity(faults),
+            gaussian_recomputations: Stage::ALL.iter().map(|stage| (*stage, 0)).collect(),
+            autoencoder_recomputations: Stage::ALL.iter().map(|stage| (*stage, 0)).collect(),
+        }
+    }
+
+    fn fold(&mut self, outcome: JobOutcome) {
+        match outcome {
+            JobOutcome::Golden { qof, ticks, compute_ms } => {
+                self.golden_ticks += ticks;
+                self.golden_compute_ms += compute_ms;
+                self.golden_runs.push(qof);
+            }
+            JobOutcome::Fault(outcomes) => {
+                self.injected_runs.push(outcomes.injected);
+                accumulate_recomputations(&outcomes.gaussian, &mut self.gaussian_recomputations);
+                self.gaussian_runs.push(outcomes.gaussian.qof);
+                accumulate_recomputations(
+                    &outcomes.autoencoder,
+                    &mut self.autoencoder_recomputations,
+                );
+                self.autoencoder_runs.push(outcomes.autoencoder.qof);
+            }
+        }
+    }
+
+    fn finish(self, config: &CampaignConfig) -> EnvironmentCampaign {
+        let golden_divisor = config.golden_runs.max(1) as f64;
+        EnvironmentCampaign {
+            environment: config.environment,
+            golden: SettingResult::new("Golden Run", self.golden_runs),
+            injected: SettingResult::new("Injection Run", self.injected_runs),
+            gaussian: SettingResult::new("Gaussian-based", self.gaussian_runs),
+            autoencoder: SettingResult::new("Autoencoder-based", self.autoencoder_runs),
+            gaussian_recomputations: self.gaussian_recomputations,
+            autoencoder_recomputations: self.autoencoder_recomputations,
+            golden_mean_ticks: self.golden_ticks as f64 / golden_divisor,
+            golden_mean_compute_ms: self.golden_compute_ms / golden_divisor,
+        }
+    }
+}
+
+fn accumulate_recomputations(outcome: &MissionOutcome, totals: &mut [(Stage, u64)]) {
+    if let Some(stats) = &outcome.detector {
+        for (stage, total) in totals.iter_mut() {
+            *total += stats.recomputations.get(stage).copied().unwrap_or(0);
+        }
+    }
+}
+
+/// The campaign execution engine: shards a campaign's run list across a
+/// worker pool and restores run order on aggregation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mavfi::exec::{run_campaign, SchemeConfig};
+/// use mavfi::{CampaignConfig, TrainingSpec};
+/// use mavfi_sim::env::EnvironmentKind;
+///
+/// let config = CampaignConfig::quick(EnvironmentKind::Sparse, 7);
+/// let scheme = SchemeConfig::cached_default(TrainingSpec::default());
+/// let campaign = run_campaign(&config, &scheme, 4).unwrap();
+/// println!("{}", campaign.golden.summary.success_rate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignExecutor {
+    pool: WorkerPool,
+}
+
+impl CampaignExecutor {
+    /// Creates an executor with a fixed worker count; `0` means "auto"
+    /// (`MAVFI_WORKERS`, falling back to the available parallelism).
+    pub fn new(workers: usize) -> Self {
+        if workers == 0 {
+            Self::from_env()
+        } else {
+            Self { pool: WorkerPool::new(workers) }
+        }
+    }
+
+    /// An executor configured from `MAVFI_WORKERS` / the available cores.
+    pub fn from_env() -> Self {
+        Self { pool: WorkerPool::from_env() }
+    }
+
+    /// An executor around an existing worker pool.
+    pub fn with_pool(pool: WorkerPool) -> Self {
+        Self { pool }
+    }
+
+    /// The underlying worker pool.
+    pub fn pool(&self) -> WorkerPool {
+        self.pool
+    }
+
+    /// The worker count missions fan out over.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Builds the per-stage fault plan of a campaign by routing through
+    /// [`CampaignPlan::per_stage`]; deterministic given the config.
+    pub fn plan_faults(config: &CampaignConfig) -> CampaignPlan {
+        CampaignPlan::per_stage(config.injections_per_stage, config.base_seed ^ 0x5eed_fa01)
+    }
+
+    fn mission_spec(config: &CampaignConfig, run_index: u64) -> MissionSpec {
+        MissionSpec::new(config.environment, config.base_seed.wrapping_add(run_index * 31 + 1))
+            .with_time_budget(config.mission_time_budget)
+    }
+
+    /// Runs the golden, injection and both D&R settings of one
+    /// environment's campaign as a single sharded run list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner errors (none are expected with trained detectors);
+    /// with several failures the lowest-indexed run's error is returned,
+    /// independent of the worker count, and runs above that failure are
+    /// skipped rather than flown.
+    pub fn run_campaign(
+        &self,
+        config: &CampaignConfig,
+        scheme: &SchemeConfig,
+    ) -> Result<EnvironmentCampaign, MavfiError> {
+        let detectors = scheme.detectors();
+
+        // One unified run list: golden runs first, then every planned
+        // fault — the same order the sequential loops used, so folding in
+        // index order reproduces their output exactly, while the pool is
+        // free to interleave long and short missions across workers.
+        let mut jobs: Vec<CampaignJob> = Vec::new();
+        jobs.extend((0..config.golden_runs as u64).map(CampaignJob::Golden));
+        jobs.extend(
+            Self::plan_faults(config)
+                .into_iter()
+                .enumerate()
+                .map(|(index, fault)| CampaignJob::Fault(index, fault)),
+        );
+
+        let mut aggregate = CampaignAggregate::new(config);
+        self.pool.try_fold_ordered(
+            &jobs,
+            |_, job| -> Result<JobOutcome, MavfiError> {
+                match job {
+                    CampaignJob::Golden(index) => {
+                        let spec = Self::mission_spec(config, *index);
+                        let outcome = MissionRunner::new(spec).run_golden();
+                        Ok(JobOutcome::Golden {
+                            qof: outcome.qof,
+                            ticks: outcome.pipeline.ticks,
+                            compute_ms: outcome.pipeline.total_compute_ms(),
+                        })
+                    }
+                    CampaignJob::Fault(index, fault) => {
+                        let spec = Self::mission_spec(config, *index as u64);
+                        let runner = MissionRunner::new(spec);
+                        Ok(JobOutcome::Fault(Box::new(FaultSettingOutcomes {
+                            injected: runner.run(Some(*fault), Protection::None, None)?.qof,
+                            gaussian: runner.run(
+                                Some(*fault),
+                                Protection::Gaussian,
+                                Some(&detectors),
+                            )?,
+                            autoencoder: runner.run(
+                                Some(*fault),
+                                Protection::Autoencoder,
+                                Some(&detectors),
+                            )?,
+                        })))
+                    }
+                }
+            },
+            &mut aggregate,
+            |aggregate, _, outcome| aggregate.fold(outcome),
+        )?;
+        Ok(aggregate.finish(config))
+    }
+
+    /// Runs an injection-only sweep (golden baseline plus unprotected
+    /// injections) as a single sharded run list.
+    ///
+    /// Golden run `i` flies with seed `base_seed + i`; the injection at plan
+    /// position `p` flies with seed `base_seed + (p % runs_per_target)`,
+    /// mirroring the sequential per-target loops of the Fig. 3/4 drivers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mission-runner errors, lowest run index first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sweep.runs_per_target` does not divide `sweep.plan.len()`
+    /// — that always indicates a plan built for a different target list.
+    pub fn run_sweep(&self, sweep: &InjectionSweep) -> Result<SweepOutcome, MavfiError> {
+        assert!(
+            sweep.plan.len() % sweep.runs_per_target.max(1) == 0,
+            "runs_per_target ({}) must divide the plan length ({})",
+            sweep.runs_per_target,
+            sweep.plan.len()
+        );
+        let mut jobs: Vec<CampaignJob> = Vec::new();
+        jobs.extend((0..sweep.golden_runs as u64).map(CampaignJob::Golden));
+        jobs.extend(
+            sweep
+                .plan
+                .specs()
+                .iter()
+                .enumerate()
+                .map(|(position, fault)| CampaignJob::Fault(position, *fault)),
+        );
+
+        let spec_for = |seed_offset: u64| {
+            MissionSpec::new(sweep.environment, sweep.base_seed + seed_offset)
+                .with_time_budget(sweep.mission_time_budget)
+        };
+        let runs_per_target = sweep.runs_per_target.max(1);
+
+        let mut outcome = SweepOutcome {
+            golden: Vec::with_capacity(sweep.golden_runs),
+            injected: Vec::with_capacity(sweep.plan.len()),
+        };
+        self.pool.try_fold_ordered(
+            &jobs,
+            |_, job| -> Result<(bool, QofMetrics), MavfiError> {
+                match job {
+                    CampaignJob::Golden(index) => {
+                        Ok((true, MissionRunner::new(spec_for(*index)).run_golden().qof))
+                    }
+                    CampaignJob::Fault(position, fault) => {
+                        let spec = spec_for((position % runs_per_target) as u64);
+                        MissionRunner::new(spec)
+                            .run(Some(*fault), Protection::None, None)
+                            .map(|run| (false, run.qof))
+                    }
+                }
+            },
+            &mut outcome,
+            |outcome, _, (is_golden, qof)| {
+                if is_golden {
+                    outcome.golden.push(qof);
+                } else {
+                    outcome.injected.push(qof);
+                }
+            },
+        )?;
+        Ok(outcome)
+    }
+}
+
+/// Runs one environment's full campaign through a [`CampaignExecutor`] —
+/// the single entry point the experiment drivers route through.
+///
+/// `workers == 0` means "auto" (`MAVFI_WORKERS`, falling back to the
+/// available parallelism); any other value pins the worker count.  Results
+/// are byte-identical for every choice.
+///
+/// # Errors
+///
+/// Propagates runner errors, lowest run index first.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    scheme: &SchemeConfig,
+    workers: usize,
+) -> Result<EnvironmentCampaign, MavfiError> {
+    CampaignExecutor::new(workers).run_campaign(config, scheme)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::train_detectors;
+
+    fn quick_detectors() -> TrainedDetectors {
+        let spec =
+            TrainingSpec { missions: 1, base_seed: 77, mission_time_budget: 25.0, epochs: 5 };
+        train_detectors(&spec).0
+    }
+
+    #[test]
+    fn executor_defaults_resolve_to_at_least_one_worker() {
+        assert!(CampaignExecutor::new(0).workers() >= 1);
+        assert_eq!(CampaignExecutor::new(3).workers(), 3);
+        assert_eq!(CampaignExecutor::with_pool(WorkerPool::serial()).workers(), 1);
+    }
+
+    #[test]
+    fn sweep_groups_split_per_target() {
+        let outcome = SweepOutcome {
+            golden: Vec::new(),
+            injected: vec![
+                QofMetrics {
+                    status: mavfi_sim::world::MissionStatus::Succeeded,
+                    flight_time_s: 10.0,
+                    energy_j: 1.0,
+                    distance_m: 5.0,
+                };
+                6
+            ],
+        };
+        assert_eq!(outcome.injected_groups(2).len(), 3);
+        assert_eq!(outcome.injected_groups(6).len(), 1);
+    }
+
+    #[test]
+    fn campaign_runs_identically_through_the_entry_point() {
+        let detectors = quick_detectors();
+        let config = CampaignConfig {
+            environment: EnvironmentKind::Farm,
+            golden_runs: 1,
+            injections_per_stage: 1,
+            base_seed: 5,
+            mission_time_budget: 60.0,
+        };
+        let scheme = SchemeConfig::trained(detectors);
+        let serial = run_campaign(&config, &scheme, 1).unwrap();
+        let parallel = run_campaign(&config, &scheme, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.golden.runs.len(), 1);
+        assert_eq!(serial.injected.runs.len(), 3);
+    }
+}

@@ -1,0 +1,522 @@
+//! Scoped-thread worker pool with deterministic, order-restoring output.
+//!
+//! A paper-scale campaign is 100 golden + 300 injection runs × 3 protection
+//! settings × several environments of embarrassingly parallel missions: every
+//! run derives its seed from the campaign base seed and its own index, so no
+//! run depends on any other.  [`WorkerPool`] exploits that:
+//!
+//! * **Deterministic seeding** — jobs are identified by index; seed
+//!   derivation stays a pure function of `(base_seed, index)` exactly as in
+//!   the serial code, so a run's inputs never depend on scheduling.
+//! * **Shared immutable state** — trained detectors (and any other captured
+//!   context) are borrowed by the worker closures, not cloned per worker.
+//! * **Stable ordering** — results carry their job index and are handed to
+//!   the caller in input order, making parallel output byte-identical to
+//!   serial output for any worker count.
+//!
+//! Workers pull the next job index from an atomic counter (work stealing),
+//! so long and short missions interleave without static partitioning skew.
+//! [`WorkerPool::fold_ordered`] additionally *streams* results through an
+//! order-restoring aggregator: completed results are folded in index order
+//! while later jobs are still running, so bulky per-run artifacts (full
+//! [`MissionOutcome`](crate::runner::MissionOutcome)s with sampled trails)
+//! can be reduced to compact statistics without ever materialising the whole
+//! campaign in memory.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How far ahead of the aggregator workers may claim jobs, as a multiple of
+/// the worker count (with a floor for small pools).  This caps the
+/// out-of-order completion buffer: even when the head-of-line job is the
+/// slowest in the campaign, at most this many completed results wait in
+/// memory while everything behind the head stalls.
+const CLAIM_WINDOW_PER_WORKER: usize = 8;
+const CLAIM_WINDOW_MIN: usize = 64;
+
+/// A scoped-thread worker pool running indexed jobs with stable output
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi::exec::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let squares = pool.run_ordered(&[1u64, 2, 3, 4, 5], |_, &n| n * n);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Min-heap entry pairing a result with its job index; ordering ignores the
+/// payload so results dequeue strictly by index.
+struct Pending<R> {
+    index: usize,
+    result: R,
+}
+
+impl<R> PartialEq for Pending<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+
+impl<R> Eq for Pending<R> {}
+
+impl<R> PartialOrd for Pending<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<R> Ord for Pending<R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest index.
+        other.index.cmp(&self.index)
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// A single-worker pool: jobs run inline on the calling thread.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Reads the worker count from the `MAVFI_WORKERS` environment variable,
+    /// falling back to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("MAVFI_WORKERS")
+            .ok()
+            .and_then(|value| value.parse::<usize>().ok())
+            .filter(|&workers| workers > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Self::new(workers)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `job` for every element of `jobs`, returning results in input
+    /// order.  `job` receives the element's index and a reference to it.
+    ///
+    /// With one worker (or one job) everything runs inline on the calling
+    /// thread; otherwise scoped worker threads pull indices from a shared
+    /// counter.  Results are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job after all workers have stopped.
+    pub fn run_ordered<T, R, F>(&self, jobs: &[T], job: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let mut results = Vec::with_capacity(jobs.len());
+        self.fold_ordered(jobs, job, &mut results, |results, _, result| results.push(result));
+        results
+    }
+
+    /// Like [`run_ordered`](Self::run_ordered) for fallible jobs: returns the
+    /// first error by job order (not completion order), so error reporting is
+    /// as deterministic as success output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job; jobs above that
+    /// index are skipped (see [`try_fold_ordered`](Self::try_fold_ordered)).
+    pub fn try_run_ordered<T, R, E, F>(&self, jobs: &[T], job: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let mut results = Vec::with_capacity(jobs.len());
+        self.try_fold_ordered(jobs, job, &mut results, |results, _, result| {
+            results.push(result);
+        })?;
+        Ok(results)
+    }
+
+    /// [`fold_ordered`](Self::fold_ordered) for fallible jobs with early
+    /// abort: `fold` receives successful results in strict job-index order
+    /// until the lowest-indexed failure, whose error is returned.
+    ///
+    /// After a job fails, jobs with a *higher* index are skipped instead of
+    /// run, so a failure early in a long campaign does not cost the whole
+    /// campaign's compute.  Jobs below an observed failure always still run
+    /// (a failure can only skip indices above itself), which makes the
+    /// returned error — and the folded prefix, exactly the results a serial
+    /// `?` loop would have folded before stopping — independent of the
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job.
+    pub fn try_fold_ordered<T, R, E, S, F, G>(
+        &self,
+        jobs: &[T],
+        job: F,
+        state: &mut S,
+        mut fold: G,
+    ) -> Result<(), E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        let lowest_failure = AtomicUsize::new(usize::MAX);
+        let mut combined = (state, None::<E>);
+        self.fold_ordered(
+            jobs,
+            |index, item| {
+                // Skip only indices *above* a recorded failure: a job below
+                // it (which could be an even lower failure) always runs, so
+                // which error wins never depends on scheduling.
+                if index > lowest_failure.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let result = job(index, item);
+                if result.is_err() {
+                    lowest_failure.fetch_min(index, Ordering::Relaxed);
+                }
+                Some(result)
+            },
+            &mut combined,
+            |(state, error), index, outcome| match outcome {
+                Some(Ok(result)) if error.is_none() => fold(state, index, result),
+                Some(Err(e)) if error.is_none() => *error = Some(e),
+                _ => {}
+            },
+        );
+        match combined.1 {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Streams results through an order-restoring aggregator: `fold` is
+    /// called exactly once per job, in strict job-index order, while later
+    /// jobs may still be running on other workers.
+    ///
+    /// This is the memory-friendly sibling of
+    /// [`run_ordered`](Self::run_ordered): instead of materialising every
+    /// result, only the out-of-order completion window is buffered, and the
+    /// caller reduces each result to aggregate state as soon as its turn
+    /// comes.  Workers may claim jobs only a fixed window ahead of the
+    /// aggregator's fold position, so the buffer stays bounded even under
+    /// pathological skew (for example a head-of-line golden run flying its
+    /// whole time budget while every later job finishes instantly); workers
+    /// that run out of window briefly sleep instead of piling up results.
+    /// Because `fold` observes the same results in the same order as a
+    /// serial loop, any aggregation — including floating-point sums — is
+    /// byte-identical to sequential execution.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job after all workers have stopped.
+    pub fn fold_ordered<T, R, S, F, G>(&self, jobs: &[T], job: F, state: &mut S, mut fold: G)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        let workers = self.workers.min(jobs.len()).max(1);
+        if workers == 1 {
+            for (index, item) in jobs.iter().enumerate() {
+                fold(state, index, job(index, item));
+            }
+            return;
+        }
+
+        let next_job = AtomicUsize::new(0);
+        let folded = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        let window = (workers * CLAIM_WINDOW_PER_WORKER).max(CLAIM_WINDOW_MIN);
+        let (sender, receiver) = mpsc::channel::<Pending<R>>();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let sender = sender.clone();
+                    scope.spawn({
+                        let next_job = &next_job;
+                        let folded = &folded;
+                        let aborted = &aborted;
+                        let job = &job;
+                        move || {
+                            // If this worker unwinds mid-job, its result never
+                            // reaches the aggregator and the fold position
+                            // stops advancing — workers parked on the claim
+                            // window below would otherwise sleep forever.  The
+                            // guard flips the abort flag on the way out so
+                            // every parked worker exits and the panic can
+                            // propagate through `handle.join()`.
+                            struct AbortOnPanic<'a>(&'a AtomicBool);
+                            impl Drop for AbortOnPanic<'_> {
+                                fn drop(&mut self) {
+                                    if std::thread::panicking() {
+                                        self.0.store(true, Ordering::Release);
+                                    }
+                                }
+                            }
+                            let _guard = AbortOnPanic(aborted);
+                            loop {
+                                if aborted.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = jobs.get(index) else { break };
+                                // Claim-window backpressure: never run more than
+                                // `window` jobs ahead of the fold position.  The
+                                // worker holding the lowest in-flight index is
+                                // always inside the window, so the pool as a
+                                // whole keeps making progress.
+                                while index >= folded.load(Ordering::Acquire) + window {
+                                    if aborted.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
+                                // A send only fails when the aggregator side was
+                                // torn down early, which scoped lifetimes rule
+                                // out short of a panic already in flight.
+                                if sender.send(Pending { index, result: job(index, item) }).is_err()
+                                {
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // The workers hold clones; dropping ours lets `recv` end once
+            // every worker is done.
+            drop(sender);
+
+            let mut pending: BinaryHeap<Pending<R>> = BinaryHeap::new();
+            let mut next_expected = 0usize;
+            while let Ok(done) = receiver.recv() {
+                pending.push(done);
+                while pending.peek().is_some_and(|entry| entry.index == next_expected) {
+                    let entry = pending.pop().expect("peeked entry");
+                    fold(state, entry.index, entry.result);
+                    next_expected += 1;
+                }
+                folded.store(next_expected, Ordering::Release);
+            }
+
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order_for_any_worker_count() {
+        let jobs: Vec<usize> = (0..37).collect();
+        let serial = WorkerPool::serial().run_ordered(&jobs, |i, &n| i * 1000 + n);
+        for workers in [2, 3, 8, 64] {
+            let parallel = WorkerPool::new(workers).run_ordered(&jobs, |i, &n| i * 1000 + n);
+            assert_eq!(parallel, serial, "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<u32> = (0..100).collect();
+        let results =
+            WorkerPool::new(8).run_ordered(&jobs, |_, _| counter.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(results.len(), 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        let results = WorkerPool::new(4).run_ordered(&[] as &[u8], |_, &b| b);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn try_run_reports_lowest_indexed_error() {
+        let jobs: Vec<usize> = (0..50).collect();
+        let outcome =
+            WorkerPool::new(8)
+                .try_run_ordered(&jobs, |i, _| if i % 7 == 3 { Err(i) } else { Ok(i) });
+        assert_eq!(outcome.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_env_fallback_works() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert!(WorkerPool::from_env().workers() >= 1);
+    }
+
+    #[test]
+    fn shared_state_is_borrowed_not_cloned() {
+        let shared = [1u64, 2, 3];
+        let sums = WorkerPool::new(4)
+            .run_ordered(&[10u64, 20], |_, &base| base + shared.iter().sum::<u64>());
+        assert_eq!(sums, vec![16, 26]);
+    }
+
+    #[test]
+    fn fold_ordered_observes_strict_index_order() {
+        let jobs: Vec<u64> = (0..200).collect();
+        for workers in [1, 2, 8] {
+            let mut seen = Vec::new();
+            WorkerPool::new(workers).fold_ordered(
+                &jobs,
+                |index, &n| {
+                    // Uneven job durations force out-of-order completion.
+                    let spin = (n % 13) * 500;
+                    let mut acc = 0u64;
+                    for i in 0..spin {
+                        acc = acc.wrapping_add(std::hint::black_box(i));
+                    }
+                    (index, n.wrapping_add(acc.wrapping_mul(0)))
+                },
+                &mut seen,
+                |seen, index, (job_index, n)| {
+                    assert_eq!(index, job_index);
+                    seen.push((index, n));
+                },
+            );
+            let expected: Vec<(usize, u64)> = (0..200).map(|n| (n as usize, n)).collect();
+            assert_eq!(seen, expected, "worker count {workers}");
+        }
+    }
+
+    #[test]
+    fn stalled_head_job_bounds_the_completion_buffer() {
+        // Job 0 is by far the slowest: every other job would complete while
+        // the head of the line is still running.  The claim window must cap
+        // how far past the fold position workers run — nothing can fold
+        // until job 0 does, so until then no job at or beyond the window
+        // (max(4 * 8, 64) = 64 here) may execute — and order restoration
+        // must still hold once job 0 lands.
+        use std::sync::atomic::AtomicBool;
+        let jobs: Vec<u64> = (0..500).collect();
+        let head_done = AtomicBool::new(false);
+        let max_before_head = AtomicUsize::new(0);
+        let mut seen = Vec::new();
+        WorkerPool::new(4).fold_ordered(
+            &jobs,
+            |index, &n| {
+                if index == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    head_done.store(true, Ordering::Release);
+                } else if !head_done.load(Ordering::Acquire) {
+                    max_before_head.fetch_max(index, Ordering::Relaxed);
+                }
+                n
+            },
+            &mut seen,
+            |seen: &mut Vec<u64>, _, n| seen.push(n),
+        );
+        assert_eq!(seen, jobs);
+        let max_index = max_before_head.load(Ordering::Relaxed);
+        assert!(max_index < 64, "job {max_index} ran beyond the claim window while job 0 stalled");
+    }
+
+    #[test]
+    fn errors_stop_the_pool_from_claiming_the_tail() {
+        // Serial pool: execution order is the job order, so everything after
+        // the first error must be skipped, deterministically.
+        let executed = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (0..100).collect();
+        let outcome = WorkerPool::serial().try_run_ordered(&jobs, |i, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 3 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(outcome.unwrap_err(), 3);
+        assert_eq!(executed.load(Ordering::Relaxed), 4, "jobs after the error must not run");
+
+        // Parallel pool: the skipped tail depends on timing, but the
+        // reported error is still the lowest-indexed one and at least the
+        // far tail is never claimed once the failure has been observed.
+        let executed = AtomicUsize::new(0);
+        let outcome = WorkerPool::new(8).try_run_ordered(&jobs, |i, _| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i % 7 == 3 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(outcome.unwrap_err(), 3);
+        assert!(executed.load(Ordering::Relaxed) <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 0 exploded")]
+    fn panicking_job_propagates_instead_of_hanging() {
+        // Job 0 panics while enough jobs exist that other workers park on
+        // the claim window (200 > 64); without the abort flag they would
+        // sleep forever waiting for a fold position that can never advance.
+        let jobs: Vec<u64> = (0..200).collect();
+        WorkerPool::new(4).run_ordered(&jobs, |i, &n| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                panic!("job 0 exploded");
+            }
+            n
+        });
+    }
+
+    #[test]
+    fn fold_ordered_matches_serial_floating_point_sums() {
+        // Summation order changes floating-point results; identical sums
+        // prove the aggregator restored the serial order bit for bit.
+        let jobs: Vec<u64> = (0..500).collect();
+        let sum = |pool: WorkerPool| {
+            let mut total = 0.0f64;
+            pool.fold_ordered(
+                &jobs,
+                |_, &n| 1.0 / (n as f64 + 1.0),
+                &mut total,
+                |total, _, term| *total += term,
+            );
+            total.to_bits()
+        };
+        let serial = sum(WorkerPool::serial());
+        assert_eq!(sum(WorkerPool::new(2)), serial);
+        assert_eq!(sum(WorkerPool::new(8)), serial);
+    }
+}

@@ -206,8 +206,7 @@ impl AblationResult {
 }
 
 fn operating_point_table(parameter: &str, points: &[OperatingPoint]) -> String {
-    let mut table =
-        TextTable::new([parameter, "Precision", "Recall", "F1", "False-positive rate"]);
+    let mut table = TextTable::new([parameter, "Precision", "Recall", "F1", "False-positive rate"]);
     for point in points {
         table.push_row([
             format!("{:.2}", point.parameter),

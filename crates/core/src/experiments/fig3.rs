@@ -2,20 +2,17 @@
 //! success rate when a single bit flip lands in each kernel, Sparse
 //! environment).
 
-use mavfi_fault::injector::FaultSpec;
+use mavfi_fault::campaign::{CampaignPlan, TriggerWindow};
 use mavfi_fault::model::FaultModel;
 use mavfi_fault::target::InjectionTarget;
 use mavfi_ppc::kernel::KernelId;
 use mavfi_sim::env::EnvironmentKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{MissionSpec, Protection};
 use crate::error::MavfiError;
+use crate::exec::{CampaignExecutor, InjectionSweep};
 use crate::qof::QofSummary;
 use crate::report::{percent, seconds, TextTable};
-use crate::runner::MissionRunner;
 
 /// Configuration of the Fig. 3 experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -118,7 +115,10 @@ impl Fig3Result {
             matches!(kernel, KernelId::PointCloudGeneration | KernelId::OctoMap)
         });
         let downstream = inflation(&|kernel| {
-            matches!(kernel, KernelId::Rrt | KernelId::RrtConnect | KernelId::RrtStar | KernelId::Pid)
+            matches!(
+                kernel,
+                KernelId::Rrt | KernelId::RrtConnect | KernelId::RrtStar | KernelId::Pid
+            )
         });
         downstream - perception
     }
@@ -130,33 +130,35 @@ impl Fig3Result {
 ///
 /// Propagates mission-runner errors.
 pub fn run(config: &Fig3Config) -> Result<Fig3Result, MavfiError> {
-    let mut golden_runs = Vec::with_capacity(config.golden_runs);
-    for index in 0..config.golden_runs {
-        let spec = MissionSpec::new(config.environment, config.base_seed + index as u64)
-            .with_time_budget(config.mission_time_budget);
-        golden_runs.push(MissionRunner::new(spec).run_golden().qof);
-    }
-    let golden = QofSummary::from_runs(&golden_runs);
+    // Plan every injection up front through the fault crate's campaign
+    // planner (same RNG consumption order as the original serial loops),
+    // then hand golden + injection runs to the execution engine as one
+    // sharded run list.
+    let targets: Vec<InjectionTarget> =
+        KernelId::FIG3_KERNELS.into_iter().map(InjectionTarget::Kernel).collect();
+    let sweep = InjectionSweep {
+        environment: config.environment,
+        base_seed: config.base_seed,
+        mission_time_budget: config.mission_time_budget,
+        golden_runs: config.golden_runs,
+        runs_per_target: config.runs_per_kernel,
+        plan: CampaignPlan::new(
+            &targets,
+            config.runs_per_kernel,
+            FaultModel::default(),
+            TriggerWindow::new(10, 300),
+            config.base_seed ^ 0xf163,
+        ),
+    };
+    let outcome = CampaignExecutor::from_env().run_sweep(&sweep)?;
 
-    let mut rng = StdRng::seed_from_u64(config.base_seed ^ 0xf16_3);
-    let mut kernels = Vec::new();
-    for kernel in KernelId::FIG3_KERNELS {
-        let mut runs = Vec::with_capacity(config.runs_per_kernel);
-        for index in 0..config.runs_per_kernel {
-            let spec = MissionSpec::new(config.environment, config.base_seed + index as u64)
-                .with_time_budget(config.mission_time_budget);
-            let fault = FaultSpec {
-                target: InjectionTarget::Kernel(kernel),
-                model: FaultModel::default(),
-                trigger_tick: rng.gen_range(10..300),
-                seed: rng.gen(),
-            };
-            runs.push(MissionRunner::new(spec).run(Some(fault), Protection::None, None)?.qof);
-        }
-        kernels.push(KernelSensitivity { kernel, summary: QofSummary::from_runs(&runs) });
-    }
+    let kernels = KernelId::FIG3_KERNELS
+        .iter()
+        .zip(outcome.injected_groups(config.runs_per_kernel))
+        .map(|(&kernel, summary)| KernelSensitivity { kernel, summary })
+        .collect();
 
-    Ok(Fig3Result { golden, kernels })
+    Ok(Fig3Result { golden: QofSummary::from_runs(&outcome.golden), kernels })
 }
 
 #[cfg(test)]

@@ -1,20 +1,17 @@
 //! Fig. 4: fault tolerance of individual inter-kernel states (flight time
 //! and success rate when a single bit flip corrupts each monitored state).
 
-use mavfi_fault::injector::FaultSpec;
+use mavfi_fault::campaign::{CampaignPlan, TriggerWindow};
 use mavfi_fault::model::FaultModel;
 use mavfi_fault::target::InjectionTarget;
 use mavfi_ppc::states::{Stage, StateField};
 use mavfi_sim::env::EnvironmentKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{MissionSpec, Protection};
 use crate::error::MavfiError;
+use crate::exec::{CampaignExecutor, InjectionSweep};
 use crate::qof::QofSummary;
 use crate::report::{percent, seconds, TextTable};
-use crate::runner::MissionRunner;
 
 /// Configuration of the Fig. 4 experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,33 +106,35 @@ impl Fig4Result {
 ///
 /// Propagates mission-runner errors.
 pub fn run(config: &Fig4Config) -> Result<Fig4Result, MavfiError> {
-    let mut golden_runs = Vec::with_capacity(config.golden_runs);
-    for index in 0..config.golden_runs {
-        let spec = MissionSpec::new(config.environment, config.base_seed + index as u64)
-            .with_time_budget(config.mission_time_budget);
-        golden_runs.push(MissionRunner::new(spec).run_golden().qof);
-    }
-    let golden = QofSummary::from_runs(&golden_runs);
+    // Plan every injection up front through the fault crate's campaign
+    // planner (same RNG consumption order as the original serial loops),
+    // then hand golden + injection runs to the execution engine as one
+    // sharded run list.
+    let targets: Vec<InjectionTarget> =
+        StateField::ALL.into_iter().map(InjectionTarget::State).collect();
+    let sweep = InjectionSweep {
+        environment: config.environment,
+        base_seed: config.base_seed,
+        mission_time_budget: config.mission_time_budget,
+        golden_runs: config.golden_runs,
+        runs_per_target: config.runs_per_state,
+        plan: CampaignPlan::new(
+            &targets,
+            config.runs_per_state,
+            FaultModel::default(),
+            TriggerWindow::new(10, 300),
+            config.base_seed ^ 0xf164,
+        ),
+    };
+    let outcome = CampaignExecutor::from_env().run_sweep(&sweep)?;
 
-    let mut rng = StdRng::seed_from_u64(config.base_seed ^ 0xf16_4);
-    let mut states = Vec::new();
-    for field in StateField::ALL {
-        let mut runs = Vec::with_capacity(config.runs_per_state);
-        for index in 0..config.runs_per_state {
-            let spec = MissionSpec::new(config.environment, config.base_seed + index as u64)
-                .with_time_budget(config.mission_time_budget);
-            let fault = FaultSpec {
-                target: InjectionTarget::State(field),
-                model: FaultModel::default(),
-                trigger_tick: rng.gen_range(10..300),
-                seed: rng.gen(),
-            };
-            runs.push(MissionRunner::new(spec).run(Some(fault), Protection::None, None)?.qof);
-        }
-        states.push(StateSensitivity { field, summary: QofSummary::from_runs(&runs) });
-    }
+    let states = StateField::ALL
+        .iter()
+        .zip(outcome.injected_groups(config.runs_per_state))
+        .map(|(&field, summary)| StateSensitivity { field, summary })
+        .collect();
 
-    Ok(Fig4Result { golden, states })
+    Ok(Fig4Result { golden: QofSummary::from_runs(&outcome.golden), states })
 }
 
 #[cfg(test)]

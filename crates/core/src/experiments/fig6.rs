@@ -5,6 +5,8 @@
 //! the flight-time-centric view (worst-case inflation of the injection runs
 //! and the fraction of that inflation recovered by each scheme).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::campaign::EnvironmentCampaign;
@@ -57,7 +59,7 @@ impl Fig6Result {
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(config: &Table1Config) -> Result<(Fig6Result, TrainedDetectors), MavfiError> {
+pub fn run(config: &Table1Config) -> Result<(Fig6Result, Arc<TrainedDetectors>), MavfiError> {
     let (table1, detectors) = table1::run(config)?;
     Ok((Fig6Result::from_campaigns(table1.campaigns), detectors))
 }

@@ -11,16 +11,10 @@ use serde::{Deserialize, Serialize};
 use crate::report::TextTable;
 
 /// Configuration of the Fig. 8 study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Fig8Config {
     /// Scenario parameters of the performance model.
     pub scenario: ScenarioParams,
-}
-
-impl Default for Fig8Config {
-    fn default() -> Self {
-        Self { scenario: ScenarioParams::default() }
-    }
 }
 
 /// One (airframe, scheme) data point, normalised to the anomaly-detection

@@ -12,16 +12,10 @@ use crate::campaign::EnvironmentCampaign;
 use crate::report::{percent, TextTable};
 
 /// Configuration of the Fig. 9 comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Fig9Config {
     /// Scenario parameters of the performance model.
     pub scenario: ScenarioParams,
-}
-
-impl Default for Fig9Config {
-    fn default() -> Self {
-        Self { scenario: ScenarioParams::default() }
-    }
 }
 
 /// One platform row of the Fig. 9 table.
@@ -76,7 +70,8 @@ impl Fig9Result {
             ]);
         }
         let mut output = table.render();
-        if let (Some(gaussian), Some(autoencoder)) = (self.gaussian_recovery, self.autoencoder_recovery)
+        if let (Some(gaussian), Some(autoencoder)) =
+            (self.gaussian_recovery, self.autoencoder_recovery)
         {
             output.push_str(&format!(
                 "Embedded-platform worst-case flight time recovered: {} (Gaussian), {} (Autoencoder)\n",
@@ -118,7 +113,12 @@ pub fn run(config: &Fig9Config, campaign: Option<&EnvironmentCampaign>) -> Fig9R
 
     let (gaussian_recovery, autoencoder_recovery) = match campaign {
         Some(campaign) => (
-            Some(campaign.gaussian.summary.recovery_vs(&campaign.golden.summary, &campaign.injected.summary)),
+            Some(
+                campaign
+                    .gaussian
+                    .summary
+                    .recovery_vs(&campaign.golden.summary, &campaign.injected.summary),
+            ),
             Some(
                 campaign
                     .autoencoder

@@ -1,15 +1,17 @@
 //! Table I: flight success rate across the four evaluation environments for
 //! golden runs, injection runs and both detection & recovery schemes.
 
+use std::sync::Arc;
+
 use mavfi_sim::env::EnvironmentKind;
 use serde::{Deserialize, Serialize};
 
-use crate::campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign};
+use crate::campaign::{CampaignConfig, EnvironmentCampaign};
 use crate::config::TrainingSpec;
 use crate::error::MavfiError;
+use crate::exec::{CampaignExecutor, SchemeConfig, TrainedDetectorCache};
 use crate::report;
 use crate::runner::TrainedDetectors;
-use crate::training::train_detectors;
 
 /// Configuration of the Table I (and Fig. 6) campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,12 +88,21 @@ pub fn run_environments(
     config: &Table1Config,
     environments: &[EnvironmentKind],
     detectors: Option<TrainedDetectors>,
-) -> Result<(Table1Result, TrainedDetectors), MavfiError> {
-    let detectors = match detectors {
-        Some(detectors) => detectors,
-        None => train_detectors(&config.training).0,
+) -> Result<(Table1Result, Arc<TrainedDetectors>), MavfiError> {
+    // Explicit detectors are used as-is; otherwise the shared cache trains
+    // this configuration once and every later experiment in the process
+    // (fig6, fig9, benches, ...) reuses the same bank.  The trained bank is
+    // returned as a shared handle — for cache-sourced detectors the cache
+    // keeps its own reference, so handing out an `Arc` (rather than an
+    // owned bank) is what avoids deep-cloning the autoencoder weights and
+    // Gaussian statistics on every call.
+    let detectors: Arc<TrainedDetectors> = match detectors {
+        Some(detectors) => Arc::new(detectors),
+        None => TrainedDetectorCache::global()
+            .get_or_train(EnvironmentKind::Randomized, &config.training),
     };
-    let runner = CampaignRunner::new(detectors.clone());
+    let scheme = SchemeConfig::shared(Arc::clone(&detectors));
+    let executor = CampaignExecutor::from_env();
     let mut campaigns = Vec::with_capacity(environments.len());
     for (index, &environment) in environments.iter().enumerate() {
         let campaign_config = CampaignConfig {
@@ -101,7 +112,7 @@ pub fn run_environments(
             base_seed: config.base_seed + index as u64 * 1_000,
             mission_time_budget: config.mission_time_budget,
         };
-        campaigns.push(runner.run_environment(&campaign_config)?);
+        campaigns.push(executor.run_campaign(&campaign_config, &scheme)?);
     }
     Ok((Table1Result { campaigns }, detectors))
 }
@@ -111,7 +122,7 @@ pub fn run_environments(
 /// # Errors
 ///
 /// Propagates campaign errors.
-pub fn run(config: &Table1Config) -> Result<(Table1Result, TrainedDetectors), MavfiError> {
+pub fn run(config: &Table1Config) -> Result<(Table1Result, Arc<TrainedDetectors>), MavfiError> {
     run_environments(config, &EnvironmentKind::EVALUATION, None)
 }
 

@@ -87,7 +87,11 @@ impl Table2Result {
                     format_overhead(stage.detection),
                     format_overhead(stage.recovery),
                     if index == 0 { format_overhead(env.gaussian_total) } else { String::new() },
-                    if index == 0 { format_overhead(env.autoencoder_detection) } else { String::new() },
+                    if index == 0 {
+                        format_overhead(env.autoencoder_detection)
+                    } else {
+                        String::new()
+                    },
                     if index == 0 { format_overhead(env.autoencoder_total) } else { String::new() },
                 ]);
             }
@@ -183,7 +187,11 @@ mod tests {
             };
             runs
         ];
-        SettingResult { label: label.into(), summary: QofSummary::from_runs(&metrics), runs: metrics }
+        SettingResult {
+            label: label.into(),
+            summary: QofSummary::from_runs(&metrics),
+            runs: metrics,
+        }
     }
 
     fn campaign_with(gaussian_recomputes: u64, aad_recomputes: u64) -> EnvironmentCampaign {
@@ -193,10 +201,7 @@ mod tests {
             injected: setting("Injection Run", 12),
             gaussian: setting("Gaussian-based", 12),
             autoencoder: setting("Autoencoder-based", 12),
-            gaussian_recomputations: Stage::ALL
-                .iter()
-                .map(|s| (*s, gaussian_recomputes))
-                .collect(),
+            gaussian_recomputations: Stage::ALL.iter().map(|s| (*s, gaussian_recomputes)).collect(),
             autoencoder_recomputations: vec![
                 (Stage::Perception, 0),
                 (Stage::Planning, 0),

@@ -37,6 +37,7 @@
 pub mod campaign;
 pub mod config;
 pub mod error;
+pub mod exec;
 pub mod experiments;
 pub mod qof;
 pub mod report;
@@ -46,19 +47,23 @@ pub mod training;
 pub use campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign, SettingResult};
 pub use config::{MissionSpec, Protection, TrainingSpec};
 pub use error::MavfiError;
+pub use exec::{run_campaign, CampaignExecutor, SchemeConfig, TrainedDetectorCache, WorkerPool};
 pub use qof::{QofMetrics, QofSummary};
 pub use runner::{MissionOutcome, MissionRunner, TrainedDetectors};
-pub use training::train_detectors;
+pub use training::{train_detectors, train_detectors_in};
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
     pub use crate::campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign, SettingResult};
     pub use crate::config::{MissionSpec, Protection, TrainingSpec};
     pub use crate::error::MavfiError;
+    pub use crate::exec::{
+        run_campaign, CampaignExecutor, SchemeConfig, TrainedDetectorCache, WorkerPool,
+    };
     pub use crate::qof::{QofMetrics, QofSummary};
     pub use crate::report::TextTable;
     pub use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
-    pub use crate::training::train_detectors;
+    pub use crate::training::{train_detectors, train_detectors_in};
 
     pub use mavfi_detect::prelude::*;
     pub use mavfi_fault::prelude::*;

@@ -76,7 +76,11 @@ impl QofSummary {
                 fold(|run| run.flight_time_s, f64::MAX, f64::min)
             },
             mean_energy_j: mean(|run| run.energy_j),
-            max_energy_j: if successes.is_empty() { 0.0 } else { fold(|run| run.energy_j, f64::MIN, f64::max) },
+            max_energy_j: if successes.is_empty() {
+                0.0
+            } else {
+                fold(|run| run.energy_j, f64::MIN, f64::max)
+            },
         }
     }
 

@@ -164,8 +164,7 @@ mod tests {
         assert_eq!(table.len(), 2);
         assert!(!table.is_empty());
         // Every line has the same length.
-        let lengths: std::collections::HashSet<usize> =
-            rendered.lines().map(str::len).collect();
+        let lengths: std::collections::HashSet<usize> = rendered.lines().map(str::len).collect();
         assert_eq!(lengths.len(), 1);
     }
 

@@ -12,7 +12,7 @@ use mavfi_ppc::states::{CollisionEstimate, PointCloud, Trajectory};
 use mavfi_ppc::tap::{StageTap, TapAction};
 use mavfi_sim::energy::PowerModel;
 use mavfi_sim::geometry::Vec3;
-use mavfi_sim::sensors::DepthCamera;
+use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
 use mavfi_sim::vehicle::FlightCommand;
 use mavfi_sim::world::{MissionStatus, World};
 use serde::{Deserialize, Serialize};
@@ -193,13 +193,22 @@ impl MissionRunner {
         let ppc_config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
         let mut pipeline = PpcPipeline::new(ppc_config, environment.start(), environment.goal());
         let camera = DepthCamera::default();
-        let mut world =
-            World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+        let mut world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
         let mut tap = MissionTap { injector, detector };
 
         let dt = spec.control_period;
+        // One frame and one cull scratch reused for the whole mission: the
+        // closed loop performs zero steady-state heap allocations (see
+        // docs/PERFORMANCE.md).
+        let mut frame = DepthFrame::default();
+        let mut capture_scratch = CaptureScratch::new();
         while world.status() == MissionStatus::InProgress {
-            let frame = camera.capture(world.environment(), &world.vehicle().pose());
+            camera.capture_into(
+                world.environment(),
+                &world.vehicle().pose(),
+                &mut capture_scratch,
+                &mut frame,
+            );
             let tick = pipeline.tick(&frame, &world.vehicle().state(), dt, &mut tap);
             if let Some(telemetry) = telemetry.as_deref_mut() {
                 telemetry.record(&tick.monitored);

@@ -30,10 +30,28 @@ use crate::runner::{MissionRunner, TrainedDetectors};
 /// assert!(detectors.aad.threshold() > 0.0);
 /// ```
 pub fn train_detectors(spec: &TrainingSpec) -> (TrainedDetectors, TelemetrySet) {
+    train_detectors_in(EnvironmentKind::Randomized, spec)
+}
+
+/// Like [`train_detectors`], but flies the error-free training missions in
+/// the given environment kind instead of the paper's default randomized
+/// training environments.
+///
+/// Training is fully deterministic given `(environment, spec)`, which is
+/// what lets [`TrainedDetectorCache`](crate::exec::TrainedDetectorCache)
+/// share one trained bank across experiments.
+///
+/// # Panics
+///
+/// Panics if `spec.missions` is zero.
+pub fn train_detectors_in(
+    environment: EnvironmentKind,
+    spec: &TrainingSpec,
+) -> (TrainedDetectors, TelemetrySet) {
     assert!(spec.missions > 0, "training requires at least one mission");
     let mut telemetry = TelemetrySet::new();
     for index in 0..spec.missions {
-        let mission = MissionSpec::new(EnvironmentKind::Randomized, spec.base_seed + index as u64)
+        let mission = MissionSpec::new(environment, spec.base_seed + index as u64)
             .with_time_budget(spec.mission_time_budget);
         let _ = MissionRunner::new(mission).run_collecting_telemetry(&mut telemetry);
     }
@@ -50,12 +68,8 @@ mod tests {
 
     #[test]
     fn training_produces_usable_detectors() {
-        let spec = TrainingSpec {
-            missions: 1,
-            base_seed: 500,
-            mission_time_budget: 20.0,
-            epochs: 5,
-        };
+        let spec =
+            TrainingSpec { missions: 1, base_seed: 500, mission_time_budget: 20.0, epochs: 5 };
         let (detectors, telemetry) = train_detectors(&spec);
         assert!(!telemetry.is_empty());
         assert!(detectors.aad.threshold() > 0.0);

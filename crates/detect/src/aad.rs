@@ -1,9 +1,30 @@
 //! Autoencoder-based anomaly detection (AAD, paper §IV-D).
 
 use mavfi_nn::autoencoder::Autoencoder;
+use mavfi_nn::network::MlpScratch;
 use mavfi_nn::train::{train_autoencoder, TrainConfig, TrainReport};
 use mavfi_ppc::states::MonitoredStates;
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for the per-tick AAD scoring path: the normalised input
+/// vector plus the autoencoder's forward-pass scratch.  After the first
+/// score the buffers are at capacity and [`AadDetector::score_with`] /
+/// [`AadDetector::observe_with`] perform zero heap allocations.
+///
+/// Scratches hold no semantic state: a fresh scratch and a reused one
+/// produce bit-identical scores.
+#[derive(Debug, Clone, Default)]
+pub struct AadScratch {
+    normalized: Vec<f64>,
+    mlp: MlpScratch,
+}
+
+impl AadScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Configuration of the autoencoder detector.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -149,15 +170,42 @@ impl AadDetector {
 
     /// Reconstruction-error anomaly score of one preprocessed delta vector.
     pub fn score(&self, deltas: &[f64; MonitoredStates::DIM]) -> f64 {
-        let scaled = normalize(deltas, &self.norm_mean, &self.norm_std, self.config.input_scale);
-        self.autoencoder.reconstruction_error(&scaled)
+        self.score_with(deltas, &mut AadScratch::new())
+    }
+
+    /// [`AadDetector::score`] through reusable scratch buffers: zero heap
+    /// allocations in steady state, bit-identical score.  This is the path
+    /// the detector tap runs every pipeline tick.
+    pub fn score_with(
+        &self,
+        deltas: &[f64; MonitoredStates::DIM],
+        scratch: &mut AadScratch,
+    ) -> f64 {
+        normalize_into(
+            deltas,
+            &self.norm_mean,
+            &self.norm_std,
+            self.config.input_scale,
+            &mut scratch.normalized,
+        );
+        self.autoencoder.reconstruction_error_with(&scratch.normalized, &mut scratch.mlp)
     }
 
     /// Observes one vector; returns `true` when the reconstruction error
     /// exceeds the threshold.
     pub fn observe(&mut self, deltas: &[f64; MonitoredStates::DIM]) -> bool {
+        self.observe_with(deltas, &mut AadScratch::new())
+    }
+
+    /// [`AadDetector::observe`] through reusable scratch buffers
+    /// (allocation-free, bit-identical decisions).
+    pub fn observe_with(
+        &mut self,
+        deltas: &[f64; MonitoredStates::DIM],
+        scratch: &mut AadScratch,
+    ) -> bool {
         self.observations += 1;
-        let alarm = self.score(deltas) > self.threshold;
+        let alarm = self.score_with(deltas, scratch) > self.threshold;
         if alarm {
             self.alarms += 1;
         }
@@ -198,15 +246,24 @@ fn normalize(
     std: &[f64],
     input_scale: f64,
 ) -> Vec<f64> {
-    deltas
-        .iter()
-        .zip(mean)
-        .zip(std)
-        .map(|((value, mean), std)| {
-            let finite = if value.is_finite() { *value } else { 0.0 };
-            (finite - mean) / std * input_scale
-        })
-        .collect()
+    let mut out = Vec::with_capacity(deltas.len());
+    normalize_into(deltas, mean, std, input_scale, &mut out);
+    out
+}
+
+/// [`normalize`] into a reusable buffer (same element order and arithmetic).
+fn normalize_into(
+    deltas: &[f64; MonitoredStates::DIM],
+    mean: &[f64],
+    std: &[f64],
+    input_scale: f64,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend(deltas.iter().zip(mean).zip(std).map(|((value, mean), std)| {
+        let finite = if value.is_finite() { *value } else { 0.0 };
+        (finite - mean) / std * input_scale
+    }));
 }
 
 #[cfg(test)]
@@ -273,7 +330,10 @@ mod tests {
 
         // In-range magnitudes, broken correlation: all fields +8.
         let broken: [f64; 13] = [8.0; 13];
-        assert!(detector.observe(&broken), "correlation break should raise the reconstruction error");
+        assert!(
+            detector.observe(&broken),
+            "correlation break should raise the reconstruction error"
+        );
     }
 
     #[test]

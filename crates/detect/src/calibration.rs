@@ -97,13 +97,19 @@ pub struct LabeledStream {
 impl LabeledStream {
     /// Builds an evaluation stream by corrupting a fraction of clean
     /// preprocessed samples according to `config`.
+    ///
+    /// When the corruption rate is positive and the input non-empty, at
+    /// least one sample is guaranteed to be corrupted: small quick-test
+    /// streams would otherwise occasionally draw zero corruptions, which
+    /// degenerates every downstream ROC curve.
     pub fn synthesize(clean: &[[f64; DIM]], config: SyntheticAnomalyConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let samples = clean
+        let rate = config.corruption_rate.clamp(0.0, 1.0);
+        let mut samples: Vec<([f64; DIM], GroundTruth)> = clean
             .iter()
             .map(|sample| {
                 let mut value = *sample;
-                if rng.gen_bool(config.corruption_rate.clamp(0.0, 1.0)) {
+                if rng.gen_bool(rate) {
                     config.profile.apply(&mut value, &mut rng);
                     (value, GroundTruth::Corrupted)
                 } else {
@@ -111,6 +117,13 @@ impl LabeledStream {
                 }
             })
             .collect();
+        let none_corrupted = samples.iter().all(|(_, truth)| *truth == GroundTruth::Clean);
+        if rate > 0.0 && none_corrupted && !samples.is_empty() {
+            let index = rng.gen_range(0..samples.len());
+            let (value, truth) = &mut samples[index];
+            config.profile.apply(value, &mut rng);
+            *truth = GroundTruth::Corrupted;
+        }
         Self { samples }
     }
 
@@ -198,15 +211,8 @@ impl AnomalyScorer for MahalanobisDetector {
 
 /// Scores every sample of a labelled stream with a frozen detector,
 /// producing the input of [`RocCurve::from_scores`].
-pub fn score_stream(
-    scorer: &dyn AnomalyScorer,
-    stream: &LabeledStream,
-) -> Vec<(f64, GroundTruth)> {
-    stream
-        .samples()
-        .iter()
-        .map(|(sample, truth)| (scorer.anomaly_score(sample), *truth))
-        .collect()
+pub fn score_stream(scorer: &dyn AnomalyScorer, stream: &LabeledStream) -> Vec<(f64, GroundTruth)> {
+    stream.samples().iter().map(|(sample, truth)| (scorer.anomaly_score(sample), *truth)).collect()
 }
 
 /// Builds the ROC curve of a frozen detector over a labelled stream.
@@ -257,8 +263,7 @@ pub fn sweep_gad_nsigma(
         .map(|&n_sigma| {
             let mut bank = GadBank::new(crate::gad::CgadConfig { n_sigma, ..base });
             bank.prime(training);
-            let matrix =
-                evaluate_stream(|sample| !bank.observe_all(sample).is_empty(), stream);
+            let matrix = evaluate_stream(|sample| !bank.observe_all(sample).is_empty(), stream);
             OperatingPoint { parameter: n_sigma, matrix }
         })
         .collect()
@@ -298,8 +303,7 @@ pub fn sweep_ewma_alpha(
         .map(|&alpha| {
             let mut bank = EwmaBank::new(crate::ewma::EwmaConfig { alpha, ..base });
             bank.prime(training);
-            let matrix =
-                evaluate_stream(|sample| !bank.observe_all(sample).is_empty(), stream);
+            let matrix = evaluate_stream(|sample| !bank.observe_all(sample).is_empty(), stream);
             OperatingPoint { parameter: alpha, matrix }
         })
         .collect()
@@ -469,7 +473,8 @@ mod tests {
         for pair in points.windows(2) {
             assert!(pair[0].matrix.recall() >= pair[1].matrix.recall() - 1e-12);
             assert!(
-                pair[0].matrix.false_positive_rate() >= pair[1].matrix.false_positive_rate() - 1e-12
+                pair[0].matrix.false_positive_rate()
+                    >= pair[1].matrix.false_positive_rate() - 1e-12
             );
         }
     }
@@ -478,8 +483,7 @@ mod tests {
     fn ewma_alpha_sweep_produces_one_point_per_alpha() {
         let training = clean_samples(300, 13);
         let stream = exponent_flip_stream(14);
-        let points =
-            sweep_ewma_alpha(&training, &stream, &[0.01, 0.1, 0.5], EwmaConfig::default());
+        let points = sweep_ewma_alpha(&training, &stream, &[0.01, 0.1, 0.5], EwmaConfig::default());
         assert_eq!(points.len(), 3);
         assert!(points.iter().all(|p| p.matrix.total() as usize == stream.len()));
     }

@@ -12,7 +12,7 @@ use mavfi_ppc::tap::{StageTap, TapAction};
 use mavfi_sim::vehicle::FlightCommand;
 use serde::{Deserialize, Serialize};
 
-use crate::aad::AadDetector;
+use crate::aad::{AadDetector, AadScratch};
 use crate::gad::GadBank;
 use crate::preprocess::magnitude_code;
 
@@ -81,13 +81,26 @@ impl DetectorStats {
 /// states are *abandoned* (replaced by the last good value, emulating the
 /// paper's "the corrupted way-point will be abandoned"), and an anomaly at
 /// the control stage requests the cheap control recomputation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DetectorTap {
     scheme: DetectionScheme,
     previous_codes: [Option<i16>; MonitoredStates::DIM],
     current: MonitoredStates,
     last_good: MonitoredStates,
     stats: DetectorStats,
+    // Reusable buffers for the per-tick AAD score (no semantic state, so
+    // excluded from the manual PartialEq below).
+    scratch: AadScratch,
+}
+
+impl PartialEq for DetectorTap {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheme == other.scheme
+            && self.previous_codes == other.previous_codes
+            && self.current == other.current
+            && self.last_good == other.last_good
+            && self.stats == other.stats
+    }
 }
 
 impl DetectorTap {
@@ -99,6 +112,7 @@ impl DetectorTap {
             current: MonitoredStates::default(),
             last_good: MonitoredStates::default(),
             stats: DetectorStats::default(),
+            scratch: AadScratch::new(),
         }
     }
 
@@ -144,22 +158,27 @@ impl DetectorTap {
 
     /// Handles one stage's worth of freshly observed states.  Returns the
     /// tap action and whether the corrupted value should be abandoned.
+    ///
+    /// Runs every pipeline tick for every stage, so it is allocation-free:
+    /// fields are iterated in place and the AAD score goes through the tap's
+    /// reusable scratch buffers.
     fn evaluate_stage(&mut self, stage: Stage) -> (TapAction, bool) {
         let warmed = self.stage_has_baseline(stage);
-        let fields: Vec<StateField> =
-            StateField::ALL.into_iter().filter(|field| field.stage() == stage).collect();
         match &mut self.scheme {
             DetectionScheme::Gaussian(bank) => {
                 let mut alarmed = false;
-                for field in &fields {
+                for field in StateField::ALL {
+                    if field.stage() != stage {
+                        continue;
+                    }
                     let delta = match self.previous_codes[field.index()] {
                         Some(previous) => {
-                            f64::from(magnitude_code(Self::squash(self.current.field(*field))))
+                            f64::from(magnitude_code(Self::squash(self.current.field(field))))
                                 - f64::from(previous)
                         }
                         None => 0.0,
                     };
-                    if bank.observe_field(*field, delta) && warmed {
+                    if bank.observe_field(field, delta) && warmed {
                         alarmed = true;
                     }
                 }
@@ -188,7 +207,7 @@ impl DetectorTap {
                         }
                     })
                 };
-                if detector.observe(&deltas) && warmed {
+                if detector.observe_with(&deltas, &mut self.scratch) && warmed {
                     self.stats.count_alarm(stage);
                     if stage == Stage::Control {
                         self.stats.count_recompute(Stage::Control);
@@ -322,10 +341,8 @@ mod tests {
 
     #[test]
     fn autoencoder_detector_abandons_corrupted_waypoint_without_replanning() {
-        let (aad, _) = telemetry().train_aad(
-            AadConfig::default(),
-            &TrainConfig { epochs: 15, ..TrainConfig::default() },
-        );
+        let (aad, _) = telemetry()
+            .train_aad(AadConfig::default(), &TrainConfig { epochs: 15, ..TrainConfig::default() });
         let mut tap = DetectorTap::new(DetectionScheme::Autoencoder(aad));
         let mut false_alarms = 0;
         for step in 0..50 {
@@ -355,10 +372,8 @@ mod tests {
 
     #[test]
     fn autoencoder_detector_requests_control_recompute_for_corrupted_command() {
-        let (aad, _) = telemetry().train_aad(
-            AadConfig::default(),
-            &TrainConfig { epochs: 15, ..TrainConfig::default() },
-        );
+        let (aad, _) = telemetry()
+            .train_aad(AadConfig::default(), &TrainConfig { epochs: 15, ..TrainConfig::default() });
         let mut tap = DetectorTap::new(DetectionScheme::Autoencoder(aad));
         for step in 0..50 {
             drive_normal_tick(&mut tap, step);

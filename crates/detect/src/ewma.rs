@@ -195,11 +195,7 @@ impl EwmaBank {
 
     /// Total alarms raised per stage.
     pub fn alarms_for_stage(&self, stage: Stage) -> u64 {
-        self.detectors
-            .iter()
-            .filter(|d| d.field().stage() == stage)
-            .map(EwmaDetector::alarms)
-            .sum()
+        self.detectors.iter().filter(|d| d.field().stage() == stage).map(EwmaDetector::alarms).sum()
     }
 }
 

@@ -122,7 +122,8 @@ impl GadBank {
     pub fn observe_all(&mut self, deltas: &[f64; StateField::ALL.len()]) -> Vec<Stage> {
         let mut stages = Vec::new();
         for field in StateField::ALL {
-            if self.observe_field(field, deltas[field.index()]) && !stages.contains(&field.stage()) {
+            if self.observe_field(field, deltas[field.index()]) && !stages.contains(&field.stage())
+            {
                 stages.push(field.stage());
             }
         }
@@ -221,9 +222,8 @@ mod tests {
     fn priming_seeds_the_baseline() {
         let mut bank = GadBank::default();
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<[f64; 13]> = (0..50)
-            .map(|_| std::array::from_fn(|_| normal_delta(&mut rng)))
-            .collect();
+        let samples: Vec<[f64; 13]> =
+            (0..50).map(|_| std::array::from_fn(|_| normal_delta(&mut rng))).collect();
         bank.prime(&samples);
         assert!(bank.detectors()[0].samples() >= 50);
         // Immediately able to detect without further warmup.

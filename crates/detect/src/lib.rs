@@ -38,7 +38,7 @@ pub mod static_range;
 pub mod training;
 pub mod welford;
 
-pub use aad::{AadConfig, AadDetector};
+pub use aad::{AadConfig, AadDetector, AadScratch};
 pub use calibration::{
     best_by_f1, evaluate_stream, roc_curve, score_stream, sweep_aad_threshold, sweep_ewma_alpha,
     sweep_gad_nsigma, AnomalyScorer, CorruptionProfile, LabeledStream, OperatingPoint,
@@ -56,7 +56,7 @@ pub use welford::Welford;
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
-    pub use crate::aad::{AadConfig, AadDetector};
+    pub use crate::aad::{AadConfig, AadDetector, AadScratch};
     pub use crate::calibration::{
         best_by_f1, evaluate_stream, roc_curve, score_stream, sweep_aad_threshold,
         sweep_ewma_alpha, sweep_gad_nsigma, AnomalyScorer, CorruptionProfile, LabeledStream,

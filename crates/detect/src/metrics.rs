@@ -375,8 +375,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let scored: Vec<(f64, GroundTruth)> = (0..4000)
             .map(|i| {
-                let truth =
-                    if i % 2 == 0 { GroundTruth::Clean } else { GroundTruth::Corrupted };
+                let truth = if i % 2 == 0 { GroundTruth::Clean } else { GroundTruth::Corrupted };
                 (rng.gen_range(0.0..1.0), truth)
             })
             .collect();

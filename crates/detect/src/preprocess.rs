@@ -59,7 +59,9 @@ pub fn magnitude_code(value: f64) -> i16 {
     }
     let magnitude = if value.is_finite() { value.abs() } else { f64::MAX };
     let code = value.signum() * CODE_UNITS_PER_OCTAVE * (1.0 + magnitude).log2();
-    code.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+    // Saturate symmetrically (to -32767, not i16::MIN) so the code stays an
+    // odd function even at the extreme end of the double range.
+    code.clamp(-f64::from(i16::MAX), f64::from(i16::MAX)) as i16
 }
 
 /// Computes the 13-dimensional preprocessed feature vector: the change of
@@ -133,10 +135,11 @@ mod tests {
         assert!((i32::from(magnitude_code(3.0)) - i32::from(magnitude_code(3.0e120))).abs() > 1000);
         // Sign corruption of a large value is also visible.
         assert!((i32::from(magnitude_code(30.0)) - i32::from(magnitude_code(-30.0))).abs() > 200);
-        // Non-finite inputs stay bounded.
+        // Non-finite inputs stay bounded, and saturation is symmetric so
+        // the code remains an odd function of its input.
         assert_eq!(magnitude_code(f64::NAN), 0);
         assert_eq!(magnitude_code(f64::INFINITY), i16::MAX);
-        assert_eq!(magnitude_code(f64::NEG_INFINITY), i16::MIN);
+        assert_eq!(magnitude_code(f64::NEG_INFINITY), -i16::MAX);
     }
 
     #[test]

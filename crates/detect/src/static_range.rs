@@ -1,5 +1,5 @@
 //! Static range-restriction anomaly detection, the "Ranger-style" baseline
-//! the paper cites for DNN accelerators (reference [8]).
+//! the paper cites for DNN accelerators (its reference \[8\]).
 //!
 //! Each monitored state's preprocessed delta gets a fixed `[low, high]`
 //! envelope calibrated once from error-free training telemetry; anything
@@ -74,10 +74,7 @@ impl StaticRangeBank {
     /// # Panics
     ///
     /// Panics if `samples` is empty.
-    pub fn calibrate(
-        samples: &[[f64; MonitoredStates::DIM]],
-        config: StaticRangeConfig,
-    ) -> Self {
+    pub fn calibrate(samples: &[[f64; MonitoredStates::DIM]], config: StaticRangeConfig) -> Self {
         assert!(!samples.is_empty(), "range calibration requires error-free telemetry");
         let ranges = StateField::ALL
             .into_iter()
@@ -97,8 +94,7 @@ impl StaticRangeBank {
                     high = 0.0;
                 }
                 let center = 0.5 * (low + high);
-                let half_width =
-                    (0.5 * (high - low) * config.margin).max(config.min_half_width);
+                let half_width = (0.5 * (high - low) * config.margin).max(config.min_half_width);
                 FieldRange { field, low: center - half_width, high: center + half_width }
             })
             .collect();

@@ -62,7 +62,11 @@ impl TelemetrySet {
     /// # Panics
     ///
     /// Panics if the set is empty.
-    pub fn train_aad(&self, config: AadConfig, train_config: &TrainConfig) -> (AadDetector, TrainReport) {
+    pub fn train_aad(
+        &self,
+        config: AadConfig,
+        train_config: &TrainConfig,
+    ) -> (AadDetector, TrainReport) {
         AadDetector::train(&self.samples, config, train_config)
     }
 
@@ -71,6 +75,81 @@ impl TelemetrySet {
         let mut bank = GadBank::new(config);
         bank.prime(&self.samples);
         bank
+    }
+}
+
+/// A stable 64-bit fingerprint of a detector-training configuration, used to
+/// key caches of trained detector banks.
+///
+/// Training is fully deterministic given its configuration (environment
+/// kind, mission count, seeds, time budget, epochs), so two configurations
+/// with the same fingerprint produce identical detectors and can share one
+/// trained bank.  The fingerprint is an FNV-1a hash fed field by field; it
+/// is stable across runs and platforms, unlike `std`'s `DefaultHasher`.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_detect::training::TrainingFingerprint;
+///
+/// let a = TrainingFingerprint::new().push_str("Randomized").push(4).push_f64(60.0).finish();
+/// let b = TrainingFingerprint::new().push_str("Randomized").push(4).push_f64(60.0).finish();
+/// let c = TrainingFingerprint::new().push_str("Randomized").push(5).push_f64(60.0).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct TrainingFingerprint(u64);
+
+impl TrainingFingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Self(Self::FNV_OFFSET)
+    }
+
+    /// Folds one byte slice into the fingerprint (length-prefixed, so
+    /// `"ab" + "c"` and `"a" + "bc"` fingerprint differently).
+    pub fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        self = self.push(bytes.len() as u64);
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a string into the fingerprint.
+    pub fn push_str(self, value: &str) -> Self {
+        self.push_bytes(value.as_bytes())
+    }
+
+    /// Folds one 64-bit word into the fingerprint.
+    pub fn push(mut self, word: u64) -> Self {
+        for byte in word.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a float into the fingerprint by exact bit pattern (`0.0` and
+    /// `-0.0` are distinct, as are NaN payloads — training configs should
+    /// simply not use NaN).
+    pub fn push_f64(self, value: f64) -> Self {
+        self.push(value.to_bits())
+    }
+
+    /// The finished 64-bit fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TrainingFingerprint {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -126,6 +205,22 @@ mod tests {
         b.record(&synthetic_states(2));
         a.merge(b);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_field_sensitive() {
+        let base = || TrainingFingerprint::new().push_str("Randomized").push(7).push_f64(30.0);
+        assert_eq!(base().finish(), base().finish());
+        assert_ne!(base().finish(), base().push(0).finish());
+        assert_ne!(
+            TrainingFingerprint::new().push_str("ab").push_str("c").finish(),
+            TrainingFingerprint::new().push_str("a").push_str("bc").finish(),
+            "length prefixing must prevent concatenation collisions"
+        );
+        assert_ne!(
+            TrainingFingerprint::new().push_f64(0.0).finish(),
+            TrainingFingerprint::new().push_f64(-0.0).finish(),
+        );
     }
 
     #[test]

@@ -70,6 +70,44 @@ impl Welford {
         }
     }
 
+    /// Combines two estimators as if every sample of both had been pushed
+    /// into one (Chan et al.'s pairwise recurrence).  This is what lets
+    /// telemetry collected by parallel campaign workers be reduced into a
+    /// single baseline without replaying samples.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mavfi_detect::welford::Welford;
+    ///
+    /// let (mut left, mut right, mut all) = (Welford::new(), Welford::new(), Welford::new());
+    /// for x in [1.0, 2.0, 3.0] { left.push(x); all.push(x); }
+    /// for x in [10.0, 20.0] { right.push(x); all.push(x); }
+    /// let merged = left.merge(&right);
+    /// assert_eq!(merged.count(), all.count());
+    /// assert!((merged.mean() - all.mean()).abs() < 1e-12);
+    /// assert!((merged.std_dev() - all.std_dev()).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn merge(&self, other: &Welford) -> Welford {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count + other.count;
+        let (n1, n2, n) = (self.count as f64, other.count as f64, count as f64);
+        let delta = other.mean - self.mean;
+        Welford {
+            count,
+            mean: self.mean + delta * (n2 / n),
+            // Both `s` terms and the cross term are non-negative, so the
+            // merged sum of squared deviations can never go negative.
+            s: self.s + other.s + delta * delta * (n1 * n2 / n),
+        }
+    }
+
     /// Number of standard deviations `x` lies away from the mean, or 0 when
     /// the estimator has no spread yet.
     pub fn z_score(&self, x: f64) -> f64 {
@@ -120,6 +158,36 @@ mod tests {
         stats.push(3.0);
         assert_eq!(stats.count(), 2);
         assert!((stats.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats = Welford::new();
+        for x in [4.0, -1.5, 2.25] {
+            stats.push(x);
+        }
+        assert_eq!(stats.merge(&Welford::new()), stats);
+        assert_eq!(Welford::new().merge(&stats), stats);
+        assert_eq!(Welford::new().merge(&Welford::new()), Welford::new());
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let first = [1.0, 2.0, 3.5, -0.5];
+        let second = [100.0, 101.0];
+        let (mut a, mut b, mut all) = (Welford::new(), Welford::new(), Welford::new());
+        for &x in &first {
+            a.push(x);
+            all.push(x);
+        }
+        for &x in &second {
+            b.push(x);
+            all.push(x);
+        }
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.std_dev() - all.std_dev()).abs() < 1e-12);
     }
 
     #[test]

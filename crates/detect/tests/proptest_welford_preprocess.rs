@@ -1,0 +1,152 @@
+//! Property-based tests of the detector math added for the parallel
+//! campaign engine: Welford merge (associativity, identity, agreement with
+//! the single-pass estimator, variance non-negativity) and preprocessing
+//! round-trips (delta telescoping, reset semantics, code antisymmetry).
+//!
+//! Regression seeds live in `proptest-regressions/proptest_welford_preprocess.txt`
+//! and are replayed before the generated cases.
+
+use mavfi_detect::preprocess::{magnitude_code, Preprocessor};
+use mavfi_detect::welford::Welford;
+use mavfi_ppc::states::{MonitoredStates, StateField};
+use proptest::prelude::*;
+
+fn filled(samples: &[f64]) -> Welford {
+    let mut stats = Welford::new();
+    for &x in samples {
+        stats.push(x);
+    }
+    stats
+}
+
+/// Absolute-plus-relative comparison: merge reassociation commits the usual
+/// floating-point sins, so exact equality is too strict for huge inputs.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9_f64.max(1e-9 * a.abs().max(b.abs()))
+}
+
+fn states_from(values: &[f64]) -> MonitoredStates {
+    let mut states = MonitoredStates::default();
+    for (field, &value) in StateField::ALL.iter().zip(values) {
+        states.set_field(*field, value);
+    }
+    states
+}
+
+proptest! {
+    /// Merging two estimators matches pushing every sample into one.
+    #[test]
+    fn merge_matches_single_pass(
+        left in proptest::collection::vec(-1.0e6f64..1.0e6, 0..60),
+        right in proptest::collection::vec(-1.0e6f64..1.0e6, 0..60),
+    ) {
+        let merged = filled(&left).merge(&filled(&right));
+        let combined: Vec<f64> = left.iter().chain(&right).copied().collect();
+        let single = filled(&combined);
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert!(close(merged.mean(), single.mean()),
+            "mean: {} vs {}", merged.mean(), single.mean());
+        prop_assert!(close(merged.std_dev(), single.std_dev()),
+            "std: {} vs {}", merged.std_dev(), single.std_dev());
+    }
+
+    /// Merge is associative up to floating-point noise.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(-1.0e6f64..1.0e6, 0..40),
+        b in proptest::collection::vec(-1.0e6f64..1.0e6, 0..40),
+        c in proptest::collection::vec(-1.0e6f64..1.0e6, 0..40),
+    ) {
+        let (a, b, c) = (filled(&a), filled(&b), filled(&c));
+        let left_first = a.merge(&b).merge(&c);
+        let right_first = a.merge(&b.merge(&c));
+        prop_assert_eq!(left_first.count(), right_first.count());
+        prop_assert!(close(left_first.mean(), right_first.mean()),
+            "mean: {} vs {}", left_first.mean(), right_first.mean());
+        prop_assert!(close(left_first.std_dev(), right_first.std_dev()),
+            "std: {} vs {}", left_first.std_dev(), right_first.std_dev());
+    }
+
+    /// The empty estimator is a two-sided identity, exactly.
+    #[test]
+    fn merge_empty_is_exact_identity(
+        samples in proptest::collection::vec(-1.0e9f64..1.0e9, 0..50),
+    ) {
+        let stats = filled(&samples);
+        prop_assert_eq!(stats.merge(&Welford::new()), stats);
+        prop_assert_eq!(Welford::new().merge(&stats), stats);
+    }
+
+    /// Variance (and hence the standard deviation) never goes negative, for
+    /// pushes and for arbitrarily shaped merges — including non-finite
+    /// inputs, which the estimator ignores.
+    #[test]
+    fn variance_is_non_negative(
+        samples in proptest::collection::vec(any::<f64>(), 0..80),
+        at in 0usize..80,
+    ) {
+        let split = at.min(samples.len());
+        let merged = filled(&samples[..split]).merge(&filled(&samples[split..]));
+        // The sum of squared deviations accumulates only non-negative terms,
+        // so it may overflow to +inf on astronomically spread inputs but can
+        // never go negative or NaN.
+        prop_assert!(merged.std_dev() >= 0.0, "std {}", merged.std_dev());
+        prop_assert!(!merged.std_dev().is_nan());
+        let single = filled(&samples);
+        prop_assert!(single.std_dev() >= 0.0);
+        prop_assert!(!single.std_dev().is_nan());
+    }
+
+    /// Per-field deltas telescope: integrating the delta stream recovers the
+    /// final magnitude code exactly (the preprocessing "round-trip").
+    #[test]
+    fn preprocessor_deltas_telescope(
+        snapshots in proptest::collection::vec(
+            proptest::collection::vec(-1.0e9f64..1.0e9, 13),
+            1..20,
+        ),
+    ) {
+        let mut preprocessor = Preprocessor::new();
+        let mut integrated = [0.0f64; MonitoredStates::DIM];
+        for snapshot in &snapshots {
+            let deltas = preprocessor.process(&states_from(snapshot));
+            for (total, delta) in integrated.iter_mut().zip(deltas) {
+                *total += delta;
+            }
+        }
+        let first = states_from(&snapshots[0]);
+        let last = states_from(snapshots.last().unwrap());
+        for (index, (total, (&first_raw, &last_raw))) in integrated
+            .iter()
+            .zip(first.as_array().iter().zip(last.as_array().iter()))
+            .enumerate()
+        {
+            let expected = f64::from(magnitude_code(last_raw)) - f64::from(magnitude_code(first_raw));
+            prop_assert_eq!(*total, expected, "field {}", index);
+        }
+    }
+
+    /// `reset` erases history: the next delta vector is identically zero no
+    /// matter what was seen before.
+    #[test]
+    fn preprocessor_reset_round_trips(
+        before in proptest::collection::vec(-1.0e9f64..1.0e9, 13),
+        after in proptest::collection::vec(-1.0e9f64..1.0e9, 13),
+    ) {
+        let mut preprocessor = Preprocessor::new();
+        prop_assert_eq!(preprocessor.process(&states_from(&before)), [0.0; 13]);
+        prop_assert!(preprocessor.has_history());
+        preprocessor.reset();
+        prop_assert!(!preprocessor.has_history());
+        prop_assert_eq!(preprocessor.process(&states_from(&after)), [0.0; 13]);
+    }
+
+    /// The magnitude code is odd and bounded: negating the input negates the
+    /// code, and the code always fits the saturated i16 range.
+    #[test]
+    fn magnitude_code_is_odd_and_saturating(value in any::<f64>()) {
+        prop_assume!(!value.is_nan());
+        prop_assert_eq!(magnitude_code(-value), -magnitude_code(value));
+        prop_assert!(i32::from(magnitude_code(value)).abs() <= i32::from(i16::MAX));
+    }
+}

@@ -80,7 +80,13 @@ impl CampaignPlan {
     pub fn per_kernel(runs_per_kernel: usize, base_seed: u64) -> Self {
         let targets: Vec<InjectionTarget> =
             KernelId::FIG3_KERNELS.into_iter().map(InjectionTarget::Kernel).collect();
-        Self::new(&targets, runs_per_kernel, FaultModel::default(), TriggerWindow::default(), base_seed)
+        Self::new(
+            &targets,
+            runs_per_kernel,
+            FaultModel::default(),
+            TriggerWindow::default(),
+            base_seed,
+        )
     }
 
     /// The Fig. 4 campaign: `runs_per_state` injections into each monitored
@@ -88,7 +94,13 @@ impl CampaignPlan {
     pub fn per_state(runs_per_state: usize, base_seed: u64) -> Self {
         let targets: Vec<InjectionTarget> =
             StateField::ALL.into_iter().map(InjectionTarget::State).collect();
-        Self::new(&targets, runs_per_state, FaultModel::default(), TriggerWindow::default(), base_seed)
+        Self::new(
+            &targets,
+            runs_per_state,
+            FaultModel::default(),
+            TriggerWindow::default(),
+            base_seed,
+        )
     }
 
     /// The Table I / Fig. 6 campaign: `runs_per_stage` injections into each
@@ -96,7 +108,13 @@ impl CampaignPlan {
     pub fn per_stage(runs_per_stage: usize, base_seed: u64) -> Self {
         let targets: Vec<InjectionTarget> =
             Stage::ALL.into_iter().map(InjectionTarget::Stage).collect();
-        Self::new(&targets, runs_per_stage, FaultModel::default(), TriggerWindow::default(), base_seed)
+        Self::new(
+            &targets,
+            runs_per_stage,
+            FaultModel::default(),
+            TriggerWindow::default(),
+            base_seed,
+        )
     }
 
     /// The planned experiments.

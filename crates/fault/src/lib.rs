@@ -42,7 +42,11 @@ pub mod prelude {
     pub use crate::campaign::{CampaignPlan, TriggerWindow};
     pub use crate::injector::{FaultInjector, FaultRecord, FaultSpec};
     pub use crate::model::{BitSelection, FaultModel};
-    pub use crate::recurring::{FaultOccurrence, Recurrence, RecurringFaultSpec, RecurringInjector};
-    pub use crate::severity::{classify, classify_detail, FlipSurvey, Severity, SeverityThresholds};
+    pub use crate::recurring::{
+        FaultOccurrence, Recurrence, RecurringFaultSpec, RecurringInjector,
+    };
+    pub use crate::severity::{
+        classify, classify_detail, FlipSurvey, Severity, SeverityThresholds,
+    };
     pub use crate::target::InjectionTarget;
 }

@@ -90,7 +90,12 @@ impl FaultModel {
                 let corrupted = flip_bit(value, bit);
                 (
                     corrupted,
-                    CorruptionDetail { original: value, corrupted, bit: Some(bit), field: Some(BitField::of_bit(bit)) },
+                    CorruptionDetail {
+                        original: value,
+                        corrupted,
+                        bit: Some(bit),
+                        field: Some(BitField::of_bit(bit)),
+                    },
                 )
             }
             Self::StuckAt { value: stuck } => (
@@ -222,8 +227,7 @@ mod tests {
 
     #[test]
     fn multi_bit_flip_flips_the_requested_number_of_bits() {
-        let model =
-            FaultModel::MultiBitFlip { bits: 3, selection: BitSelection::UniformRandom };
+        let model = FaultModel::MultiBitFlip { bits: 3, selection: BitSelection::UniformRandom };
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..50 {
             let (corrupted, detail) = model.apply(1.5, &mut rng);

@@ -324,14 +324,10 @@ mod tests {
         };
         let mut injector = RecurringInjector::new(RecurringFaultSpec::permanent(base));
         injector.after_point_cloud(&mut PointCloud::default());
-        let mut trajectory =
-            Trajectory::new(vec![mavfi_ppc::states::Waypoint::default(); 3]);
+        let mut trajectory = Trajectory::new(vec![mavfi_ppc::states::Waypoint::default(); 3]);
         injector.after_planning(&mut trajectory, 1);
         assert_eq!(injector.occurrence_count(), 1);
-        assert_eq!(
-            injector.occurrences()[0].field.stage(),
-            mavfi_ppc::states::Stage::Planning
-        );
+        assert_eq!(injector.occurrences()[0].field.stage(), mavfi_ppc::states::Stage::Planning);
     }
 
     #[test]

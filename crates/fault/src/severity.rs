@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn classify_detail_uses_the_recorded_values() {
-        let detail = CorruptionDetail { original: 3.0, corrupted: -3.0, bit: Some(63), field: None };
+        let detail =
+            CorruptionDetail { original: 3.0, corrupted: -3.0, bit: Some(63), field: None };
         assert_eq!(classify_detail(&detail), Severity::Severe);
     }
 

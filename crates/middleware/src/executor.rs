@@ -73,7 +73,10 @@ pub struct Executor {
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Executor")
-            .field("nodes", &self.entries.iter().map(|e| e.node.name().to_owned()).collect::<Vec<_>>())
+            .field(
+                "nodes",
+                &self.entries.iter().map(|e| e.node.name().to_owned()).collect::<Vec<_>>(),
+            )
             .field("now", &self.clock.now())
             .finish()
     }
@@ -201,7 +204,11 @@ mod tests {
             self.period
         }
         fn step(&mut self, ctx: &mut NodeContext<'_>) -> Result<(), NodeError> {
-            ctx.bus.advertise::<String>("trace").publish(format!("{}@{}", self.name, ctx.now.as_millis()));
+            ctx.bus.advertise::<String>("trace").publish(format!(
+                "{}@{}",
+                self.name,
+                ctx.now.as_millis()
+            ));
             if self.fail_on == Some(ctx.step_index) {
                 return Err(NodeError::new("intentional failure"));
             }

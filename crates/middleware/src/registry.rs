@@ -53,20 +53,18 @@ impl Registry {
     /// use.
     pub fn record_step(&self, name: &str) {
         let mut nodes = self.nodes.lock();
-        let info = nodes.entry(name.to_owned()).or_insert_with(|| NodeInfo {
-            name: name.to_owned(),
-            ..NodeInfo::default()
-        });
+        let info = nodes
+            .entry(name.to_owned())
+            .or_insert_with(|| NodeInfo { name: name.to_owned(), ..NodeInfo::default() });
         info.steps += 1;
     }
 
     /// Records a crash (and the implied automatic restart) for `name`.
     pub fn record_crash(&self, name: &str) {
         let mut nodes = self.nodes.lock();
-        let info = nodes.entry(name.to_owned()).or_insert_with(|| NodeInfo {
-            name: name.to_owned(),
-            ..NodeInfo::default()
-        });
+        let info = nodes
+            .entry(name.to_owned())
+            .or_insert_with(|| NodeInfo { name: name.to_owned(), ..NodeInfo::default() });
         info.crashes += 1;
         info.restarts += 1;
     }

@@ -95,7 +95,10 @@ impl Bus {
 
     /// Creates a typed client for the service `name`.  The service does not
     /// need to exist yet; existence is checked on every call.
-    pub fn service_client<Req: Message, Resp: Message>(&self, name: &str) -> ServiceClient<Req, Resp> {
+    pub fn service_client<Req: Message, Resp: Message>(
+        &self,
+        name: &str,
+    ) -> ServiceClient<Req, Resp> {
         ServiceClient { bus: self.clone(), name: name.to_owned(), _marker: PhantomData }
     }
 
@@ -115,7 +118,8 @@ impl Bus {
         let entry = services
             .get_mut(name)
             .ok_or_else(|| MiddlewareError::NoSuchService { service: name.to_owned() })?;
-        if entry.request_type != TypeId::of::<Req>() || entry.response_type != TypeId::of::<Resp>() {
+        if entry.request_type != TypeId::of::<Req>() || entry.response_type != TypeId::of::<Resp>()
+        {
             return Err(MiddlewareError::ServiceTypeMismatch { service: name.to_owned() });
         }
         entry.call_count += 1;

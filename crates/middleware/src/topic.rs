@@ -176,10 +176,8 @@ impl Bus {
         let queue = Arc::new(Mutex::new(SubscriberQueue::new(capacity.max(1))));
         let mut topics = self.inner.topics.lock();
         let entry = topics.get_mut(topic).expect("topic just ensured");
-        let channel = entry
-            .channel
-            .downcast_mut::<TopicChannel<T>>()
-            .expect("type id already validated");
+        let channel =
+            entry.channel.downcast_mut::<TopicChannel<T>>().expect("type id already validated");
         channel.subscribers.push(Arc::clone(&queue));
         Ok(Subscriber { queue, topic: topic.to_owned() })
     }
@@ -202,10 +200,8 @@ impl Bus {
         self.ensure_topic::<T>(topic)?;
         let mut topics = self.inner.topics.lock();
         let entry = topics.get_mut(topic).expect("topic just ensured");
-        let channel = entry
-            .channel
-            .downcast_mut::<TopicChannel<T>>()
-            .expect("type id already validated");
+        let channel =
+            entry.channel.downcast_mut::<TopicChannel<T>>().expect("type id already validated");
         channel.interceptors.push(Box::new(interceptor));
         Ok(())
     }
@@ -271,10 +267,8 @@ impl Bus {
                 _ => return 0,
             };
             entry.publish_count += 1;
-            let channel = entry
-                .channel
-                .downcast_mut::<TopicChannel<T>>()
-                .expect("type id already validated");
+            let channel =
+                entry.channel.downcast_mut::<TopicChannel<T>>().expect("type id already validated");
             for interceptor in channel.interceptors.iter_mut() {
                 interceptor(&mut message);
             }

@@ -51,6 +51,14 @@ impl Activation {
     pub fn apply_vec(self, values: &[f64]) -> Vec<f64> {
         values.iter().map(|&v| self.apply(v)).collect()
     }
+
+    /// Applies the activation to every element in place (the
+    /// allocation-free counterpart of [`Activation::apply_vec`]).
+    pub fn apply_slice(self, values: &mut [f64]) {
+        for value in values {
+            *value = self.apply(*value);
+        }
+    }
 }
 
 #[cfg(test)]

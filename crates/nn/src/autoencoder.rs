@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::Activation;
 use crate::loss::mse;
-use crate::network::{Gradients, Mlp};
+use crate::network::{Gradients, Mlp, MlpScratch};
 
 /// An autoencoder: an MLP trained to reproduce its own input, whose
 /// reconstruction error serves as an anomaly score.
@@ -88,6 +88,13 @@ impl Autoencoder {
     /// by AAD.
     pub fn reconstruction_error(&self, input: &[f64]) -> f64 {
         mse(&self.reconstruct(input), input)
+    }
+
+    /// [`Autoencoder::reconstruction_error`] through reusable scratch
+    /// buffers: zero heap allocations in steady state, bit-identical score.
+    /// This is the per-tick scoring path of the AAD detector.
+    pub fn reconstruction_error_with(&self, input: &[f64], scratch: &mut MlpScratch) -> f64 {
+        mse(self.network.forward_into(input, scratch), input)
     }
 
     /// Loss and gradients for one training sample (the target is the input

@@ -93,6 +93,22 @@ impl Dense {
         self.forward_cached(input).output
     }
 
+    /// Forward pass into a caller-provided buffer: the allocation-free
+    /// counterpart of [`Dense::forward`], bit-identical in its results
+    /// (same matvec summation order, bias add and activation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(input.len(), self.input_dim(), "dense layer input dimension mismatch");
+        self.weights.matvec_into(input, out);
+        for (z, b) in out.iter_mut().zip(&self.biases) {
+            *z += b;
+        }
+        self.activation.apply_slice(out);
+    }
+
     /// Forward pass that keeps the intermediate values needed by
     /// [`Dense::backward`].
     pub fn forward_cached(&self, input: &[f64]) -> LayerCache {
@@ -108,7 +124,11 @@ impl Dense {
     /// Back-propagates `output_gradient` (dL/d output) through the layer,
     /// returning the parameter gradients and the gradient with respect to
     /// the layer input.
-    pub fn backward(&self, cache: &LayerCache, output_gradient: &[f64]) -> (LayerGradients, Vec<f64>) {
+    pub fn backward(
+        &self,
+        cache: &LayerCache,
+        output_gradient: &[f64],
+    ) -> (LayerGradients, Vec<f64>) {
         assert_eq!(output_gradient.len(), self.output_dim(), "gradient dimension mismatch");
         // delta = dL/d pre_activation
         let delta: Vec<f64> = output_gradient
@@ -179,8 +199,9 @@ mod tests {
             plus[i] += eps;
             let mut minus = input;
             minus[i] -= eps;
-            let numeric =
-                (mse(&layer.forward(&plus), &target) - mse(&layer.forward(&minus), &target)) / (2.0 * eps);
+            let numeric = (mse(&layer.forward(&plus), &target)
+                - mse(&layer.forward(&minus), &target))
+                / (2.0 * eps);
             assert!((numeric - input_grad[i]).abs() < 1e-5);
         }
     }

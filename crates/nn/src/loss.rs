@@ -16,11 +16,7 @@
 pub fn mse(prediction: &[f64], target: &[f64]) -> f64 {
     assert_eq!(prediction.len(), target.len(), "prediction and target must have equal length");
     assert!(!prediction.is_empty(), "loss of an empty vector is undefined");
-    prediction
-        .iter()
-        .zip(target)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum::<f64>()
+    prediction.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
         / prediction.len() as f64
 }
 

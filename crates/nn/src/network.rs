@@ -39,6 +39,26 @@ pub struct MlpBuilder {
     layers: Vec<(usize, Activation)>,
 }
 
+/// Reusable forward-pass scratch: two ping-pong activation buffers sized to
+/// the widest layer, so [`Mlp::forward_into`] performs no heap allocation
+/// once the buffers have grown to capacity (after the first call).
+///
+/// One scratch serves any number of networks; buffers grow to the widest
+/// layer seen.  Scratches hold no semantic state — a fresh one produces the
+/// same results as a reused one.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    current: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl MlpBuilder {
     /// Appends a dense layer with `output_dim` neurons.
     pub fn layer(mut self, output_dim: usize, activation: Activation) -> Self {
@@ -57,7 +77,12 @@ impl MlpBuilder {
         let mut layers = Vec::with_capacity(self.layers.len());
         let mut input_dim = self.input_dim;
         for (index, (output_dim, activation)) in self.layers.into_iter().enumerate() {
-            layers.push(Dense::new(input_dim, output_dim, activation, seed.wrapping_add(index as u64)));
+            layers.push(Dense::new(
+                input_dim,
+                output_dim,
+                activation,
+                seed.wrapping_add(index as u64),
+            ));
             input_dim = output_dim;
         }
         Mlp { layers }
@@ -103,6 +128,25 @@ impl Mlp {
         let mut current = input.to_vec();
         for layer in &self.layers {
             current = layer.forward(&current);
+        }
+        current
+    }
+
+    /// Forward pass through caller-provided scratch buffers: the
+    /// allocation-free counterpart of [`Mlp::forward`], bit-identical in its
+    /// results.  Returns the output activations as a slice into `scratch`,
+    /// valid until the next use of the scratch.
+    pub fn forward_into<'scratch>(
+        &self,
+        input: &[f64],
+        scratch: &'scratch mut MlpScratch,
+    ) -> &'scratch [f64] {
+        let MlpScratch { current, next } = scratch;
+        current.clear();
+        current.extend_from_slice(input);
+        for layer in &self.layers {
+            layer.forward_into(current, next);
+            std::mem::swap(current, next);
         }
         current
     }
@@ -155,10 +199,8 @@ mod tests {
 
     #[test]
     fn full_network_gradient_matches_numerical() {
-        let mut mlp = Mlp::builder(3)
-            .layer(4, Activation::Tanh)
-            .layer(3, Activation::Identity)
-            .build(3);
+        let mut mlp =
+            Mlp::builder(3).layer(4, Activation::Tanh).layer(3, Activation::Identity).build(3);
         let input = [0.25, -0.5, 0.75];
         let target = [0.0, 1.0, -1.0];
         let (_, grads) = mlp.loss_and_gradients(&input, &target);

@@ -28,7 +28,9 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, network: &mut Mlp, gradients: &Gradients) {
         for (layer, grads) in network.layers_mut().iter_mut().zip(&gradients.layers) {
-            for (w, g) in layer.weights_mut().as_mut_slice().iter_mut().zip(grads.weights.as_slice()) {
+            for (w, g) in
+                layer.weights_mut().as_mut_slice().iter_mut().zip(grads.weights.as_slice())
+            {
                 *w -= self.learning_rate * g;
             }
             for (b, g) in layer.biases_mut().iter_mut().zip(&grads.biases) {
@@ -66,7 +68,14 @@ impl Adam {
     /// Creates an Adam optimizer with the conventional defaults
     /// (`beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`).
     pub fn new(learning_rate: f64) -> Self {
-        Self { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, timestep: 0, slots: Vec::new() }
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            timestep: 0,
+            slots: Vec::new(),
+        }
     }
 
     fn ensure_slots(&mut self, network: &Mlp) {
@@ -109,13 +118,14 @@ impl Optimizer for Adam {
                 weights[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
             }
             let biases = layer.biases_mut();
-            for i in 0..biases.len() {
-                let g = grads.biases[i];
-                slot.m_biases[i] = self.beta1 * slot.m_biases[i] + (1.0 - self.beta1) * g;
-                slot.v_biases[i] = self.beta2 * slot.v_biases[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = slot.m_biases[i] / bias_correction1;
-                let v_hat = slot.v_biases[i] / bias_correction2;
-                biases[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            for (((bias, &g), m), v) in
+                biases.iter_mut().zip(&grads.biases).zip(&mut slot.m_biases).zip(&mut slot.v_biases)
+            {
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bias_correction1;
+                let v_hat = *v / bias_correction2;
+                *bias -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
             }
         }
     }
@@ -131,7 +141,8 @@ mod tests {
     }
 
     fn train<O: Optimizer>(mut network: Mlp, optimizer: &mut O, steps: usize) -> f64 {
-        let samples = [([0.0, 0.0], [0.0, 0.0]), ([1.0, 0.0], [0.0, 1.0]), ([0.0, 1.0], [1.0, 0.0])];
+        let samples =
+            [([0.0, 0.0], [0.0, 0.0]), ([1.0, 0.0], [0.0, 1.0]), ([0.0, 1.0], [1.0, 0.0])];
         let mut last = f64::INFINITY;
         for _ in 0..steps {
             let mut total = 0.0;

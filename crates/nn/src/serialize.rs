@@ -112,7 +112,7 @@ mod tests {
         let restored: Autoencoder = from_json(&json).unwrap();
         assert_eq!(restored.input_dim(), model.input_dim());
         assert_eq!(restored.latent_dim(), model.latent_dim());
-        assert_models_close(&model, &restored, &vec![0.25; 13]);
+        assert_models_close(&model, &restored, &[0.25; 13]);
     }
 
     #[test]

@@ -95,17 +95,29 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
-        let mut out = vec![0.0; self.rows];
-        for (row, out_value) in out.iter_mut().enumerate() {
-            let offset = row * self.cols;
-            *out_value = self.data[offset..offset + self.cols]
-                .iter()
-                .zip(x)
-                .map(|(w, xi)| w * xi)
-                .sum();
-        }
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(x, &mut out);
         out
+    }
+
+    /// Matrix-vector product `self * x` written into a caller-provided
+    /// buffer, so hot loops can reuse one allocation across calls.  The
+    /// buffer is cleared and refilled; its capacity is reused.  Produces
+    /// bit-identical results to [`Matrix::matvec`] (same per-row summation
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        out.clear();
+        for row in 0..self.rows {
+            let offset = row * self.cols;
+            out.push(
+                self.data[offset..offset + self.cols].iter().zip(x).map(|(w, xi)| w * xi).sum(),
+            );
+        }
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.

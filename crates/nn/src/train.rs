@@ -49,7 +49,11 @@ impl TrainReport {
 /// # Panics
 ///
 /// Panics if `samples` is empty or any sample has the wrong dimension.
-pub fn train_autoencoder(model: &mut Autoencoder, samples: &[Vec<f64>], config: &TrainConfig) -> TrainReport {
+pub fn train_autoencoder(
+    model: &mut Autoencoder,
+    samples: &[Vec<f64>],
+    config: &TrainConfig,
+) -> TrainReport {
     assert!(!samples.is_empty(), "training requires at least one sample");
     for sample in samples {
         assert_eq!(sample.len(), model.input_dim(), "training sample dimension mismatch");
@@ -71,10 +75,8 @@ pub fn train_autoencoder(model: &mut Autoencoder, samples: &[Vec<f64>], config: 
         epoch_losses.push(total / samples.len() as f64);
     }
 
-    let max_reconstruction_error = samples
-        .iter()
-        .map(|sample| model.reconstruction_error(sample))
-        .fold(0.0_f64, f64::max);
+    let max_reconstruction_error =
+        samples.iter().map(|sample| model.reconstruction_error(sample)).fold(0.0_f64, f64::max);
 
     TrainReport { epoch_losses, max_reconstruction_error }
 }

@@ -2,8 +2,9 @@
 //! gradients and serialisation.
 
 use mavfi_nn::autoencoder::Autoencoder;
-use mavfi_nn::network::Mlp;
+use mavfi_nn::network::{Mlp, MlpScratch};
 use mavfi_nn::serialize::{from_json, to_json};
+use mavfi_nn::tensor::Matrix;
 use mavfi_nn::Activation;
 use proptest::prelude::*;
 
@@ -12,6 +13,40 @@ fn finite_inputs(dim: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
+    /// The scratch-buffer matvec is bit-identical to the allocating one,
+    /// including when the output buffer is reused across shapes.
+    #[test]
+    fn matvec_into_matches_matvec(
+        input in finite_inputs(4),
+        seed in any::<u64>(),
+        rows in 1usize..6,
+    ) {
+        let matrix = Matrix::xavier(rows, 4, seed);
+        let allocating = matrix.matvec(&input);
+        // A dirty, differently-sized buffer must not influence the result.
+        let mut reused = vec![f64::NAN; 9];
+        matrix.matvec_into(&input, &mut reused);
+        prop_assert_eq!(&allocating, &reused);
+        // Second call into the now-correctly-sized buffer.
+        matrix.matvec_into(&input, &mut reused);
+        prop_assert_eq!(&allocating, &reused);
+    }
+
+    /// The scratch-buffer forward pass is bit-identical to the allocating
+    /// one, for both a fresh and a reused scratch.
+    #[test]
+    fn forward_into_matches_forward(input in finite_inputs(5), seed in any::<u64>()) {
+        let network = Mlp::builder(5)
+            .layer(7, Activation::Tanh)
+            .layer(2, Activation::Sigmoid)
+            .layer(5, Activation::Identity)
+            .build(seed);
+        let allocating = network.forward(&input);
+        let mut scratch = MlpScratch::new();
+        prop_assert_eq!(&allocating, &network.forward_into(&input, &mut scratch).to_vec());
+        // Reuse the warm scratch: still identical.
+        prop_assert_eq!(&allocating, &network.forward_into(&input, &mut scratch).to_vec());
+    }
     /// Forward passes produce finite outputs of the declared dimension.
     #[test]
     fn mlp_forward_has_declared_shape(input in finite_inputs(5), seed in any::<u64>()) {

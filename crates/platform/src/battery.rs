@@ -3,7 +3,7 @@
 //! The paper motivates software-level protection by the SWaP limits of micro
 //! aerial vehicles: "UAVs have a strict limit on total flight time due to the
 //! limited onboard battery capacity".  This module turns the
-//! [`FlightEstimate`](crate::perf_model::FlightEstimate) of the visual
+//! [`FlightEstimate`] of the visual
 //! performance model into a battery feasibility verdict — whether a mission
 //! flown under a given protection scheme still fits inside the airframe's
 //! usable battery energy, and how much margin remains.
@@ -155,8 +155,11 @@ mod tests {
         let platform = ComputePlatform::cortex_a57();
         for uav in UavSpec::paper_uavs() {
             let battery = BatteryModel::for_uav(&uav);
-            let anomaly =
-                battery.assess(&model.evaluate(&uav, &platform, ProtectionScheme::AnomalyDetection));
+            let anomaly = battery.assess(&model.evaluate(
+                &uav,
+                &platform,
+                ProtectionScheme::AnomalyDetection,
+            ));
             let tmr = battery.assess(&model.evaluate(&uav, &platform, ProtectionScheme::Tmr));
             assert!(
                 tmr.energy_margin() < anomaly.energy_margin(),

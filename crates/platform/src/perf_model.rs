@@ -97,7 +97,8 @@ impl VisualPerformanceModel {
         platform: &ComputePlatform,
         scheme: ProtectionScheme,
     ) -> FlightEstimate {
-        let response_time_s = platform.response_time_ms(self.scenario.baseline_response_ms) / 1000.0
+        let response_time_s = platform.response_time_ms(self.scenario.baseline_response_ms)
+            / 1000.0
             * (1.0 + scheme.compute_time_overhead());
         let max_velocity = self.max_safe_velocity(uav, response_time_s);
         let cruise_velocity = max_velocity * self.scenario.velocity_utilisation;
@@ -196,7 +197,8 @@ mod tests {
         let m = model();
         let uav = UavSpec::airsim_uav();
         let i9 = m.evaluate(&uav, &ComputePlatform::i9_9940x(), ProtectionScheme::AnomalyDetection);
-        let a57 = m.evaluate(&uav, &ComputePlatform::cortex_a57(), ProtectionScheme::AnomalyDetection);
+        let a57 =
+            m.evaluate(&uav, &ComputePlatform::cortex_a57(), ProtectionScheme::AnomalyDetection);
         assert!(a57.flight_time_s > i9.flight_time_s * 1.5);
     }
 }

@@ -111,7 +111,8 @@ mod tests {
     fn throttling_compounds_with_the_platform_latency_scale() {
         let envelope = ThermalEnvelope::embedded_carrier();
         let a57 = ComputePlatform::cortex_a57();
-        let unthrottled = envelope.effective_response_ms(&a57, ProtectionScheme::AnomalyDetection, 400.0);
+        let unthrottled =
+            envelope.effective_response_ms(&a57, ProtectionScheme::AnomalyDetection, 400.0);
         let throttled = envelope.effective_response_ms(&a57, ProtectionScheme::Tmr, 400.0);
         assert!(unthrottled >= a57.response_time_ms(400.0));
         assert!(throttled > unthrottled * 2.0, "three throttled boards should be far slower");

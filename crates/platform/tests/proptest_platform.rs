@@ -5,8 +5,8 @@ use mavfi_platform::prelude::*;
 use proptest::prelude::*;
 
 fn arbitrary_uav() -> impl Strategy<Value = UavSpec> {
-    (0.2f64..3.0, 0.05f64..0.5, 30.0f64..300.0, 0.5f64..5.0, 2.0f64..8.0, 5.0f64..20.0)
-        .prop_map(|(mass, board, hover, drag, accel, vmax)| UavSpec {
+    (0.2f64..3.0, 0.05f64..0.5, 30.0f64..300.0, 0.5f64..5.0, 2.0f64..8.0, 5.0f64..20.0).prop_map(
+        |(mass, board, hover, drag, accel, vmax)| UavSpec {
             name: "prop UAV".to_owned(),
             base_mass_kg: mass,
             compute_board_mass_kg: board,
@@ -15,19 +15,20 @@ fn arbitrary_uav() -> impl Strategy<Value = UavSpec> {
             max_acceleration: accel,
             max_velocity: vmax,
             battery_capacity_j: 60_000.0,
-        })
+        },
+    )
 }
 
 fn arbitrary_platform() -> impl Strategy<Value = ComputePlatform> {
-    (1u32..32, 0.5f64..4.0, 5.0f64..200.0, 1.0f64..6.0).prop_map(
-        |(cores, freq, power, scale)| ComputePlatform {
+    (1u32..32, 0.5f64..4.0, 5.0f64..200.0, 1.0f64..6.0).prop_map(|(cores, freq, power, scale)| {
+        ComputePlatform {
             name: "prop platform".to_owned(),
             core_count: cores,
             core_frequency_ghz: freq,
             power_watts: power,
             latency_scale: scale,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

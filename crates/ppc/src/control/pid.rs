@@ -106,7 +106,8 @@ mod tests {
     fn command_points_towards_the_target() {
         let mut pid = PidController::new(PidConfig::default());
         let target = Waypoint { position: Vec3::new(0.0, 10.0, 2.0), ..Waypoint::default() };
-        let state = QuadrotorState { position: Vec3::new(0.0, 0.0, 2.0), ..QuadrotorState::default() };
+        let state =
+            QuadrotorState { position: Vec3::new(0.0, 0.0, 2.0), ..QuadrotorState::default() };
         let command = pid.run(&target, &state, 0.1);
         assert!(command.velocity.y > 0.0);
         assert!(command.velocity.norm() <= PidConfig::default().max_speed + 1e-9);

@@ -127,8 +127,10 @@ mod tests {
     fn stages_partition_the_kernels() {
         let perception: Vec<_> =
             KernelId::ALL.iter().filter(|k| k.stage() == Stage::Perception).collect();
-        let planning: Vec<_> = KernelId::ALL.iter().filter(|k| k.stage() == Stage::Planning).collect();
-        let control: Vec<_> = KernelId::ALL.iter().filter(|k| k.stage() == Stage::Control).collect();
+        let planning: Vec<_> =
+            KernelId::ALL.iter().filter(|k| k.stage() == Stage::Planning).collect();
+        let control: Vec<_> =
+            KernelId::ALL.iter().filter(|k| k.stage() == Stage::Control).collect();
         assert_eq!(perception.len(), 3);
         assert_eq!(planning.len(), 6);
         assert_eq!(control.len(), 2);
@@ -145,7 +147,8 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<&str> = KernelId::ALL.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<&str> =
+            KernelId::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), KernelId::ALL.len());
     }
 

@@ -32,7 +32,7 @@ pub mod states;
 pub mod tap;
 
 pub use kernel::KernelId;
-pub use pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick};
+pub use pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList};
 pub use states::{
     CollisionEstimate, MonitoredStates, PointCloud, Stage, StateField, Trajectory, Waypoint,
 };
@@ -46,11 +46,11 @@ pub mod prelude {
         CollisionChecker, EstimatorConfig, OccupancyGrid, PointCloudGenerator, StateEstimate,
         StateEstimator,
     };
-    pub use crate::pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick};
+    pub use crate::pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList};
     pub use crate::planning::{
         AStarPlanner, CellState, ExplorationCell, ExplorationMap, FrontierPlanner, MissionPlan,
-        MotionPlanner, PathSmoother, PlannedPath, PlannerAlgorithm, PlannerConfig, Rrt,
-        RrtConnect, RrtStar, TrajectoryGenerator,
+        MotionPlanner, PathSmoother, PlannedPath, PlannerAlgorithm, PlannerConfig, Rrt, RrtConnect,
+        RrtStar, TrajectoryGenerator,
     };
     pub use crate::states::{
         CollisionEstimate, MonitoredStates, PointCloud, Stage, StateField, Trajectory, Waypoint,

@@ -221,10 +221,12 @@ mod tests {
         let mut worst_error = 0.0_f64;
         for step in 0..400 {
             let accel = if step < 100 { Vec3::new(0.4, 0.1, 0.0) } else { Vec3::ZERO };
-            true_velocity = true_velocity + accel * dt;
-            true_position = true_position + true_velocity * dt;
+            true_velocity += accel * dt;
+            true_position += true_velocity * dt;
 
-            let noisy = |std: f64, rng: &mut StdRng| (0..3).map(|_| rng.gen_range(-std..std)).sum::<f64>() / 3.0_f64.sqrt();
+            let noisy = |std: f64, rng: &mut StdRng| {
+                (0..3).map(|_| rng.gen_range(-std..std)).sum::<f64>() / 3.0_f64.sqrt()
+            };
             let imu = ImuSample {
                 acceleration: Vec3::new(
                     accel.x + noisy(0.2, &mut rng),
@@ -283,7 +285,8 @@ mod tests {
 
     #[test]
     fn corrupted_measurements_are_ignored() {
-        let mut estimator = StateEstimator::new(Vec3::new(1.0, 2.0, 3.0), 0.5, EstimatorConfig::default());
+        let mut estimator =
+            StateEstimator::new(Vec3::new(1.0, 2.0, 3.0), 0.5, EstimatorConfig::default());
         let clean = estimator.estimate();
         estimator.predict(
             &ImuSample { acceleration: Vec3::new(f64::NAN, 0.0, 0.0), yaw_rate: f64::INFINITY },
@@ -313,9 +316,14 @@ mod tests {
     fn invalid_dt_is_a_no_op() {
         let mut estimator = StateEstimator::new(Vec3::ZERO, 0.0, EstimatorConfig::default());
         let before = estimator.estimate();
-        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, 0.0);
-        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, -0.5);
-        estimator.predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, f64::NAN);
+        estimator
+            .predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, 0.0);
+        estimator
+            .predict(&ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 }, -0.5);
+        estimator.predict(
+            &ImuSample { acceleration: Vec3::new(1.0, 1.0, 1.0), yaw_rate: 1.0 },
+            f64::NAN,
+        );
         assert_eq!(estimator.estimate(), before);
     }
 }

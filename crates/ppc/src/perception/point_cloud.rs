@@ -48,14 +48,19 @@ impl PointCloudGenerator {
 
     /// Converts one depth frame into a point cloud.
     pub fn run(&self, frame: &DepthFrame) -> PointCloud {
-        let points = frame
-            .points
-            .iter()
-            .step_by(self.stride)
-            .copied()
-            .filter(|point| point.is_finite())
-            .collect();
-        PointCloud::new(points)
+        let mut cloud = PointCloud::default();
+        self.run_into(frame, &mut cloud);
+        cloud
+    }
+
+    /// [`PointCloudGenerator::run`] into a caller-provided cloud, reusing
+    /// its point storage (allocation-free in steady state, bit-identical
+    /// output).
+    pub fn run_into(&self, frame: &DepthFrame, cloud: &mut PointCloud) {
+        cloud.points.clear();
+        cloud.points.extend(
+            frame.points.iter().step_by(self.stride).copied().filter(|point| point.is_finite()),
+        );
     }
 }
 

@@ -17,7 +17,7 @@ use crate::perception::{
 use crate::planning::{
     MissionPlan, MotionPlanner, PathSmoother, PlannerAlgorithm, PlannerConfig, TrajectoryGenerator,
 };
-use crate::states::{MonitoredStates, Stage, Trajectory, Waypoint};
+use crate::states::{MonitoredStates, PointCloud, Stage, Trajectory, Waypoint};
 use crate::tap::{StageTap, TapAction};
 
 /// Configuration of a full PPC pipeline.
@@ -95,16 +95,88 @@ impl PipelineStats {
 
     /// Total nominal compute time spent in kernels, in milliseconds, using
     /// the i9 latency figures from [`KernelId::nominal_latency_ms`].
+    ///
+    /// Summed in canonical [`KernelId::ALL`] order: iterating the invocation
+    /// map directly would visit kernels in the `HashMap`'s per-instance
+    /// random order, making the floating-point total differ in the last bits
+    /// between otherwise identical missions.
     pub fn total_compute_ms(&self) -> f64 {
-        self.kernel_invocations
+        KernelId::ALL
             .iter()
-            .map(|(kernel, count)| kernel.nominal_latency_ms() * *count as f64)
+            .map(|&kernel| kernel.nominal_latency_ms() * self.invocations(kernel) as f64)
             .sum()
     }
 }
 
+/// A fixed-capacity, heap-free list of pipeline stages in recomputation
+/// order (each stage recomputes at most once per tick, so three slots
+/// suffice).  Keeping this inline makes [`PpcTick`] `Copy` and the tick
+/// output allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct StageList {
+    stages: [Stage; 3],
+    len: u8,
+}
+
+impl Default for StageList {
+    fn default() -> Self {
+        Self { stages: [Stage::Perception; 3], len: 0 }
+    }
+}
+
+impl PartialEq for StageList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl StageList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all three slots are already filled.
+    pub fn push(&mut self, stage: Stage) {
+        assert!((self.len as usize) < self.stages.len(), "a tick recomputes at most 3 stages");
+        self.stages[self.len as usize] = stage;
+        self.len += 1;
+    }
+
+    /// The recorded stages, in order.
+    pub fn as_slice(&self) -> &[Stage] {
+        &self.stages[..self.len as usize]
+    }
+
+    /// Number of recorded stages.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when no stage was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` when `stage` was recorded.
+    pub fn contains(&self, stage: Stage) -> bool {
+        self.as_slice().contains(&stage)
+    }
+
+    /// Iterates over the recorded stages.
+    pub fn iter(&self) -> impl Iterator<Item = Stage> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
 /// Output of one pipeline tick.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: returning a tick performs no heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PpcTick {
     /// The flight command to forward to the actuator.
     pub command: FlightCommand,
@@ -113,7 +185,7 @@ pub struct PpcTick {
     /// Whether the planning stage ran (replan) during this tick.
     pub replanned: bool,
     /// Stages recomputed during this tick at a tap's request.
-    pub recomputed_stages: Vec<Stage>,
+    pub recomputed_stages: StageList,
     /// Whether the mission's final goal has been reached according to the
     /// mission planner.
     pub mission_complete: bool,
@@ -151,6 +223,12 @@ pub struct PpcPipeline {
     pid: PidController,
     trajectory: Trajectory,
     stats: PipelineStats,
+    // Scratch buffers reused across ticks and replans so the steady-state
+    // tick performs zero heap allocations (see docs/PERFORMANCE.md for the
+    // ownership convention).
+    cloud: PointCloud,
+    smoothed: crate::planning::PlannedPath,
+    resample_positions: Vec<Vec3>,
 }
 
 impl std::fmt::Debug for PpcPipeline {
@@ -179,12 +257,18 @@ impl PpcPipeline {
             collision_checker: CollisionChecker::new(config.collision_checker),
             planner: config.planner.instantiate(config.planner_config),
             smoother: PathSmoother::new(config.planner_config.margin),
-            trajectory_generator: TrajectoryGenerator::new(config.cruise_speed, config.waypoint_spacing),
+            trajectory_generator: TrajectoryGenerator::new(
+                config.cruise_speed,
+                config.waypoint_spacing,
+            ),
             mission,
             tracker: PathTracker::new(config.tracker),
             pid: PidController::new(config.pid),
             trajectory: Trajectory::default(),
             stats: PipelineStats::default(),
+            cloud: PointCloud::default(),
+            smoothed: crate::planning::PlannedPath::default(),
+            resample_positions: Vec::new(),
         }
     }
 
@@ -217,6 +301,11 @@ impl PpcPipeline {
     ///
     /// `tap` is invoked between stages and may mutate inter-kernel states
     /// (fault injection) or request stage recomputation (recovery).
+    ///
+    /// The steady-state tick (no replan) performs zero heap allocations:
+    /// the point cloud, the smoothing/trajectory scratch and the returned
+    /// `Copy` [`PpcTick`] all reuse pipeline-owned buffers (asserted by
+    /// `tests/zero_alloc_tick.rs`).
     pub fn tick(
         &mut self,
         frame: &DepthFrame,
@@ -225,14 +314,14 @@ impl PpcPipeline {
         tap: &mut dyn StageTap,
     ) -> PpcTick {
         self.stats.ticks += 1;
-        let mut recomputed_stages = Vec::new();
+        let mut recomputed_stages = StageList::new();
         let position = vehicle.position;
 
         // ----- Perception -----
-        let mut cloud = self.point_cloud_generator.run(frame);
+        self.point_cloud_generator.run_into(frame, &mut self.cloud);
         self.stats.count_kernel(KernelId::PointCloudGeneration);
-        tap.after_point_cloud(&mut cloud);
-        self.occupancy.insert_cloud(&cloud);
+        tap.after_point_cloud(&mut self.cloud);
+        self.occupancy.insert_cloud(&self.cloud);
         self.stats.count_kernel(KernelId::OctoMap);
         tap.after_occupancy(&mut self.occupancy);
 
@@ -247,7 +336,7 @@ impl PpcPipeline {
         if tap.after_perception(&mut estimate) == TapAction::Recompute {
             // Recovery: rebuild the perception output from scratch (occupancy
             // re-update plus collision re-check, the 289 ms path of §VI-C).
-            self.occupancy.insert_cloud(&cloud);
+            self.occupancy.insert_cloud(&self.cloud);
             self.stats.count_kernel(KernelId::OctoMap);
             estimate = self.collision_checker.run(
                 &self.occupancy,
@@ -272,7 +361,8 @@ impl PpcPipeline {
         if needs_plan && !self.mission.is_complete() {
             replanned = self.replan(position);
         }
-        if tap.after_planning(&mut self.trajectory, self.tracker.active_index()) == TapAction::Recompute
+        if tap.after_planning(&mut self.trajectory, self.tracker.active_index())
+            == TapAction::Recompute
         {
             // Recovery: regenerate the trajectory (the 83 ms re-plan path).
             self.replan(position);
@@ -314,7 +404,7 @@ impl PpcPipeline {
 
     fn replan(&mut self, position: Vec3) -> bool {
         let Some(goal) = self.mission.current_goal() else {
-            self.trajectory = Trajectory::default();
+            self.trajectory.waypoints.clear();
             return false;
         };
         self.stats.count_kernel(self.config.planner.kernel());
@@ -322,8 +412,12 @@ impl PpcPipeline {
         match self.planner.plan(&self.occupancy, position, goal) {
             Some(path) => {
                 self.stats.count_kernel(KernelId::Smoothing);
-                let smoothed = self.smoother.run(&self.occupancy, &path);
-                self.trajectory = self.trajectory_generator.run(&smoothed);
+                self.smoother.run_into(&self.occupancy, &path, &mut self.smoothed);
+                self.trajectory_generator.run_into(
+                    &self.smoothed,
+                    &mut self.resample_positions,
+                    &mut self.trajectory,
+                );
                 self.tracker.reset();
                 self.pid.reset();
                 true
@@ -361,7 +455,8 @@ mod tests {
         let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), seed);
         let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
         let camera = DepthCamera::default();
-        let mission_config = MissionConfig { max_mission_time: max_seconds, ..MissionConfig::default() };
+        let mission_config =
+            MissionConfig { max_mission_time: max_seconds, ..MissionConfig::default() };
         let mut world =
             World::new(env, QuadrotorParams::default(), PowerModel::default(), mission_config);
         let dt = 0.1;
@@ -420,7 +515,11 @@ mod tests {
             ) -> TapAction {
                 TapAction::Recompute
             }
-            fn after_planning(&mut self, _trajectory: &mut Trajectory, _active_index: usize) -> TapAction {
+            fn after_planning(
+                &mut self,
+                _trajectory: &mut Trajectory,
+                _active_index: usize,
+            ) -> TapAction {
                 TapAction::Recompute
             }
             fn after_control(&mut self, _command: &mut FlightCommand) -> TapAction {

@@ -8,10 +8,12 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::hash::BuildHasherDefault;
 
 use mavfi_sim::geometry::Vec3;
 
 use crate::kernel::KernelId;
+use crate::perception::occupancy::VoxelHasher;
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
 
 /// Integer lattice coordinates of an A* node.
@@ -34,11 +36,9 @@ impl Eq for QueueEntry {}
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the smallest f-cost pops first.
-        other
-            .f_cost
-            .partial_cmp(&self.f_cost)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| (self.cell.x, self.cell.y, self.cell.z).cmp(&(other.cell.x, other.cell.y, other.cell.z)))
+        other.f_cost.partial_cmp(&self.f_cost).unwrap_or(Ordering::Equal).then_with(|| {
+            (self.cell.x, self.cell.y, self.cell.z).cmp(&(other.cell.x, other.cell.y, other.cell.z))
+        })
     }
 }
 
@@ -53,6 +53,9 @@ impl PartialOrd for QueueEntry {
 /// The lattice spacing is the planner's `step_size`, search is bounded by
 /// the configured sampling bounds, and expansion stops after
 /// `max_iterations` node pops.
+///
+/// The open list and bookkeeping maps are pooled on the planner and reused
+/// across replans, so repeated planning does not re-grow them from empty.
 ///
 /// # Examples
 ///
@@ -73,12 +76,24 @@ impl PartialOrd for QueueEntry {
 #[derive(Debug, Clone)]
 pub struct AStarPlanner {
     config: PlannerConfig,
+    // Search state pooled across `plan` calls.  The maps are lookup-only
+    // (iteration order never observed), so they share the occupancy grid's
+    // cheap deterministic hasher instead of SipHash — the keys have the
+    // same three-i64 shape.
+    open: BinaryHeap<QueueEntry>,
+    g_cost: HashMap<Cell, f64, BuildHasherDefault<VoxelHasher>>,
+    came_from: HashMap<Cell, Cell, BuildHasherDefault<VoxelHasher>>,
 }
 
 impl AStarPlanner {
     /// Creates an A* planner with the given configuration.
     pub fn new(config: PlannerConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            open: BinaryHeap::new(),
+            g_cost: HashMap::default(),
+            came_from: HashMap::default(),
+        }
     }
 
     /// The planner configuration.
@@ -118,36 +133,47 @@ impl AStarPlanner {
             && point.z <= bounds.max.z
     }
 
-    /// The 26-connected neighbourhood offsets.
-    fn neighbour_offsets() -> Vec<(i64, i64, i64)> {
-        let mut offsets = Vec::with_capacity(26);
-        for dx in -1..=1 {
-            for dy in -1..=1 {
-                for dz in -1..=1 {
-                    if dx != 0 || dy != 0 || dz != 0 {
-                        offsets.push((dx, dy, dz));
-                    }
-                }
-            }
-        }
-        offsets
-    }
+    /// The 26-connected neighbourhood offsets, in the same (dx, dy, dz)
+    /// lexicographic order the previous generated list used — expansion
+    /// order is part of the deterministic search result.
+    const NEIGHBOUR_OFFSETS: [(i64, i64, i64); 26] = [
+        (-1, -1, -1),
+        (-1, -1, 0),
+        (-1, -1, 1),
+        (-1, 0, -1),
+        (-1, 0, 0),
+        (-1, 0, 1),
+        (-1, 1, -1),
+        (-1, 1, 0),
+        (-1, 1, 1),
+        (0, -1, -1),
+        (0, -1, 0),
+        (0, -1, 1),
+        (0, 0, -1),
+        (0, 0, 1),
+        (0, 1, -1),
+        (0, 1, 0),
+        (0, 1, 1),
+        (1, -1, -1),
+        (1, -1, 0),
+        (1, -1, 1),
+        (1, 0, -1),
+        (1, 0, 0),
+        (1, 0, 1),
+        (1, 1, -1),
+        (1, 1, 0),
+        (1, 1, 1),
+    ];
 
-    fn reconstruct(
-        &self,
-        came_from: &HashMap<Cell, Cell>,
-        mut cell: Cell,
-        origin: Vec3,
-        start: Vec3,
-        goal: Vec3,
-    ) -> PlannedPath {
+    fn reconstruct(&self, mut cell: Cell, origin: Vec3, start: Vec3, goal: Vec3) -> PlannedPath {
         let mut cells = vec![cell];
-        while let Some(&parent) = came_from.get(&cell) {
+        while let Some(&parent) = self.came_from.get(&cell) {
             cell = parent;
             cells.push(cell);
         }
         cells.reverse();
-        let mut waypoints: Vec<Vec3> = cells.into_iter().map(|c| self.point_of(c, origin)).collect();
+        let mut waypoints: Vec<Vec3> =
+            cells.into_iter().map(|c| self.point_of(c, origin)).collect();
         if let Some(first) = waypoints.first_mut() {
             *first = start;
         }
@@ -170,28 +196,27 @@ impl MotionPlanner for AStarPlanner {
         let origin = start;
         let start_cell = self.cell_of(start, origin);
         let goal_tolerance = self.config.goal_tolerance.max(self.spacing());
-        let offsets = Self::neighbour_offsets();
 
-        let mut open = BinaryHeap::new();
-        let mut g_cost: HashMap<Cell, f64> = HashMap::new();
-        let mut came_from: HashMap<Cell, Cell> = HashMap::new();
+        self.open.clear();
+        self.g_cost.clear();
+        self.came_from.clear();
 
-        g_cost.insert(start_cell, 0.0);
-        open.push(QueueEntry { f_cost: start.distance(goal), cell: start_cell });
+        self.g_cost.insert(start_cell, 0.0);
+        self.open.push(QueueEntry { f_cost: start.distance(goal), cell: start_cell });
 
         let mut expansions = 0;
-        while let Some(QueueEntry { cell, .. }) = open.pop() {
+        while let Some(QueueEntry { cell, .. }) = self.open.pop() {
             expansions += 1;
             if expansions > self.config.max_iterations {
                 return None;
             }
             let point = self.point_of(cell, origin);
             if point.distance(goal) <= goal_tolerance && model.segment_free(point, goal, margin) {
-                return Some(self.reconstruct(&came_from, cell, origin, start, goal));
+                return Some(self.reconstruct(cell, origin, start, goal));
             }
 
-            let current_g = g_cost[&cell];
-            for &(dx, dy, dz) in &offsets {
+            let current_g = self.g_cost[&cell];
+            for &(dx, dy, dz) in &Self::NEIGHBOUR_OFFSETS {
                 let neighbour = Cell { x: cell.x + dx, y: cell.y + dy, z: cell.z + dz };
                 let neighbour_point = self.point_of(neighbour, origin);
                 if !self.in_bounds(neighbour_point) {
@@ -201,10 +226,10 @@ impl MotionPlanner for AStarPlanner {
                     continue;
                 }
                 let tentative_g = current_g + point.distance(neighbour_point);
-                if tentative_g < *g_cost.get(&neighbour).unwrap_or(&f64::INFINITY) {
-                    g_cost.insert(neighbour, tentative_g);
-                    came_from.insert(neighbour, cell);
-                    open.push(QueueEntry {
+                if tentative_g < *self.g_cost.get(&neighbour).unwrap_or(&f64::INFINITY) {
+                    self.g_cost.insert(neighbour, tentative_g);
+                    self.came_from.insert(neighbour, cell);
+                    self.open.push(QueueEntry {
                         f_cost: tentative_g + neighbour_point.distance(goal),
                         cell: neighbour,
                     });
@@ -230,7 +255,8 @@ mod tests {
     fn trivial_straight_line_when_free() {
         let mut planner = AStarPlanner::new(PlannerConfig::for_bounds(open_bounds()));
         let grid = OccupancyGrid::new(0.5);
-        let path = planner.plan(&grid, Vec3::new(0.0, 0.0, 2.0), Vec3::new(30.0, 0.0, 2.0)).unwrap();
+        let path =
+            planner.plan(&grid, Vec3::new(0.0, 0.0, 2.0), Vec3::new(30.0, 0.0, 2.0)).unwrap();
         assert_eq!(path.len(), 2);
         assert!((path.length() - 30.0).abs() < 1e-9);
         assert_eq!(planner.kernel(), KernelId::AStar);
@@ -279,10 +305,8 @@ mod tests {
                 }
             }
         }
-        let config = PlannerConfig {
-            max_iterations: 2000,
-            ..PlannerConfig::for_bounds(open_bounds())
-        };
+        let config =
+            PlannerConfig { max_iterations: 2000, ..PlannerConfig::for_bounds(open_bounds()) };
         let mut planner = AStarPlanner::new(config);
         let path = planner.plan(&grid, Vec3::new(0.0, 0.0, 2.0), Vec3::new(40.0, 40.0, 2.0));
         assert!(path.is_none());

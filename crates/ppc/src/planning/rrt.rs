@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 use crate::kernel::KernelId;
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
 
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct TreeNode {
     pub(crate) position: Vec3,
     pub(crate) parent: Option<usize>,
@@ -79,13 +80,15 @@ pub(crate) fn trace_path(nodes: &[TreeNode], mut index: usize) -> Vec<Vec3> {
 pub struct Rrt {
     config: PlannerConfig,
     rng: StdRng,
+    // Tree storage pooled across `plan` calls (replans reuse the capacity).
+    nodes: Vec<TreeNode>,
 }
 
 impl Rrt {
     /// Creates an RRT planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng }
+        Self { config, rng, nodes: Vec::new() }
     }
 
     /// The planner configuration.
@@ -108,23 +111,29 @@ impl MotionPlanner for Rrt {
             return Some(PlannedPath::new(vec![start, goal]));
         }
 
-        let mut nodes = vec![TreeNode { position: start, parent: None }];
+        self.nodes.clear();
+        self.nodes.push(TreeNode { position: start, parent: None });
         for _ in 0..self.config.max_iterations {
             let sample = sample_point(&mut self.rng, &self.config, goal);
-            let nearest_index = nearest(&nodes, sample);
-            let new_position = steer(nodes[nearest_index].position, sample, self.config.step_size);
+            let nearest_index = nearest(&self.nodes, sample);
+            let new_position =
+                steer(self.nodes[nearest_index].position, sample, self.config.step_size);
             if !model.point_free(new_position, self.config.margin)
-                || !model.segment_free(nodes[nearest_index].position, new_position, self.config.margin)
+                || !model.segment_free(
+                    self.nodes[nearest_index].position,
+                    new_position,
+                    self.config.margin,
+                )
             {
                 continue;
             }
-            nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
-            let new_index = nodes.len() - 1;
+            self.nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
+            let new_index = self.nodes.len() - 1;
 
             if new_position.distance(goal) <= self.config.goal_tolerance
                 && model.segment_free(new_position, goal, self.config.margin)
             {
-                let mut waypoints = trace_path(&nodes, new_index);
+                let mut waypoints = trace_path(&self.nodes, new_index);
                 waypoints.push(goal);
                 return Some(PlannedPath::new(waypoints));
             }

@@ -25,6 +25,9 @@ use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerC
 pub struct RrtConnect {
     config: PlannerConfig,
     rng: StdRng,
+    // Both trees pooled across `plan` calls (replans reuse the capacity).
+    start_tree: Vec<TreeNode>,
+    goal_tree: Vec<TreeNode>,
 }
 
 enum ExtendResult {
@@ -37,7 +40,7 @@ impl RrtConnect {
     /// Creates an RRT-Connect planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng }
+        Self { config, rng, start_tree: Vec::new(), goal_tree: Vec::new() }
     }
 
     /// The planner configuration.
@@ -46,21 +49,21 @@ impl RrtConnect {
     }
 
     fn extend(
-        &self,
+        config: &PlannerConfig,
         model: &dyn ObstacleModel,
         nodes: &mut Vec<TreeNode>,
         target: Vec3,
     ) -> ExtendResult {
         let nearest_index = nearest(nodes, target);
-        let new_position = steer(nodes[nearest_index].position, target, self.config.step_size);
-        if !model.point_free(new_position, self.config.margin)
-            || !model.segment_free(nodes[nearest_index].position, new_position, self.config.margin)
+        let new_position = steer(nodes[nearest_index].position, target, config.step_size);
+        if !model.point_free(new_position, config.margin)
+            || !model.segment_free(nodes[nearest_index].position, new_position, config.margin)
         {
             return ExtendResult::Trapped;
         }
         nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
         let new_index = nodes.len() - 1;
-        if new_position.distance(target) <= self.config.goal_tolerance {
+        if new_position.distance(target) <= config.goal_tolerance {
             ExtendResult::Reached(new_index)
         } else {
             ExtendResult::Advanced(new_index)
@@ -68,14 +71,14 @@ impl RrtConnect {
     }
 
     fn connect(
-        &self,
+        config: &PlannerConfig,
         model: &dyn ObstacleModel,
         nodes: &mut Vec<TreeNode>,
         target: Vec3,
     ) -> ExtendResult {
         // Keep growing towards the target until trapped or reached.
         loop {
-            match self.extend(model, nodes, target) {
+            match Self::extend(config, model, nodes, target) {
                 ExtendResult::Advanced(_) => continue,
                 other => return other,
             }
@@ -96,19 +99,24 @@ impl MotionPlanner for RrtConnect {
             return Some(PlannedPath::new(vec![start, goal]));
         }
 
-        let mut start_tree = vec![TreeNode { position: start, parent: None }];
-        let mut goal_tree = vec![TreeNode { position: goal, parent: None }];
+        let config = self.config;
+        self.start_tree.clear();
+        self.start_tree.push(TreeNode { position: start, parent: None });
+        self.goal_tree.clear();
+        self.goal_tree.push(TreeNode { position: goal, parent: None });
+        let start_tree = &mut self.start_tree;
+        let goal_tree = &mut self.goal_tree;
         let mut start_is_a = true;
 
-        for _ in 0..self.config.max_iterations {
-            let sample = sample_point(&mut self.rng, &self.config, goal);
+        for _ in 0..config.max_iterations {
+            let sample = sample_point(&mut self.rng, &config, goal);
             let (tree_a, tree_b) = if start_is_a {
-                (&mut start_tree, &mut goal_tree)
+                (&mut *start_tree, &mut *goal_tree)
             } else {
-                (&mut goal_tree, &mut start_tree)
+                (&mut *goal_tree, &mut *start_tree)
             };
 
-            let extended = match self.extend(model, tree_a, sample) {
+            let extended = match Self::extend(&config, model, tree_a, sample) {
                 ExtendResult::Trapped => {
                     start_is_a = !start_is_a;
                     continue;
@@ -117,13 +125,15 @@ impl MotionPlanner for RrtConnect {
             };
             let new_position = tree_a[extended].position;
 
-            if let ExtendResult::Reached(meet_index) = self.connect(model, tree_b, new_position) {
+            if let ExtendResult::Reached(meet_index) =
+                Self::connect(&config, model, tree_b, new_position)
+            {
                 // Join: path through tree A to `extended`, then through tree
                 // B from `meet_index` back to its root.
                 let (start_nodes, start_index, goal_nodes, goal_index) = if start_is_a {
-                    (&start_tree, extended, &goal_tree, meet_index)
+                    (&*start_tree, extended, &*goal_tree, meet_index)
                 } else {
-                    (&start_tree, meet_index, &goal_tree, extended)
+                    (&*start_tree, meet_index, &*goal_tree, extended)
                 };
                 let mut waypoints = trace_path(start_nodes, start_index);
                 let mut tail = trace_path(goal_nodes, goal_index);
@@ -146,7 +156,8 @@ mod tests {
     fn plans_through_sparse_and_dense_environments() {
         for (kind, seed) in [(EnvironmentKind::Sparse, 3_u64), (EnvironmentKind::Dense, 8_u64)] {
             let env = kind.build(seed);
-            let mut planner = RrtConnect::new(PlannerConfig::for_bounds(env.bounds()).with_seed(17));
+            let mut planner =
+                RrtConnect::new(PlannerConfig::for_bounds(env.bounds()).with_seed(17));
             let path = planner
                 .plan(&env, env.start(), env.goal())
                 .unwrap_or_else(|| panic!("{} should be solvable", env.name()));

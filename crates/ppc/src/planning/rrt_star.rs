@@ -36,13 +36,18 @@ struct StarNode {
 pub struct RrtStar {
     config: PlannerConfig,
     rng: StdRng,
+    // Tree and neighbourhood storage pooled across `plan` calls: the
+    // neighbour list in particular used to be reallocated on every sampling
+    // iteration of every replan.
+    nodes: Vec<StarNode>,
+    neighbours: Vec<usize>,
 }
 
 impl RrtStar {
     /// Creates an RRT* planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng }
+        Self { config, rng, nodes: Vec::new(), neighbours: Vec::new() }
     }
 
     /// The planner configuration.
@@ -50,7 +55,7 @@ impl RrtStar {
         self.config
     }
 
-    fn trace(&self, nodes: &[StarNode], mut index: usize) -> Vec<Vec3> {
+    fn trace(nodes: &[StarNode], mut index: usize) -> Vec<Vec3> {
         let mut reversed = vec![nodes[index].position];
         while let Some(parent) = nodes[index].parent {
             reversed.push(nodes[parent].position);
@@ -74,7 +79,10 @@ impl MotionPlanner for RrtStar {
             return Some(PlannedPath::new(vec![start, goal]));
         }
 
-        let mut nodes = vec![StarNode { position: start, parent: None, cost: 0.0 }];
+        self.nodes.clear();
+        self.nodes.push(StarNode { position: start, parent: None, cost: 0.0 });
+        let nodes = &mut self.nodes;
+        let neighbours = &mut self.neighbours;
         let mut best_goal: Option<(usize, f64)> = None;
 
         for _ in 0..self.config.max_iterations {
@@ -96,12 +104,16 @@ impl MotionPlanner for RrtStar {
             }
 
             // Choose the best parent within the rewiring radius.
-            let neighbours: Vec<usize> = nodes
-                .iter()
-                .enumerate()
-                .filter(|(_, node)| node.position.distance(new_position) <= self.config.rewire_radius)
-                .map(|(index, _)| index)
-                .collect();
+            neighbours.clear();
+            neighbours.extend(
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, node)| {
+                        node.position.distance(new_position) <= self.config.rewire_radius
+                    })
+                    .map(|(index, _)| index),
+            );
             let mut best_parent = None;
             let mut best_cost = f64::INFINITY;
             for &candidate in neighbours.iter().chain(std::iter::once(&nearest_index)) {
@@ -116,14 +128,22 @@ impl MotionPlanner for RrtStar {
                 }
             }
             let Some(parent_index) = best_parent else { continue };
-            nodes.push(StarNode { position: new_position, parent: Some(parent_index), cost: best_cost });
+            nodes.push(StarNode {
+                position: new_position,
+                parent: Some(parent_index),
+                cost: best_cost,
+            });
             let new_index = nodes.len() - 1;
 
             // Rewire neighbours through the new node when cheaper.
-            for &neighbour in &neighbours {
+            for &neighbour in neighbours.iter() {
                 let through_new = best_cost + new_position.distance(nodes[neighbour].position);
                 if through_new + 1e-9 < nodes[neighbour].cost
-                    && model.segment_free(new_position, nodes[neighbour].position, self.config.margin)
+                    && model.segment_free(
+                        new_position,
+                        nodes[neighbour].position,
+                        self.config.margin,
+                    )
                 {
                     nodes[neighbour].parent = Some(new_index);
                     nodes[neighbour].cost = through_new;
@@ -142,7 +162,7 @@ impl MotionPlanner for RrtStar {
         }
 
         best_goal.map(|(index, _)| {
-            let mut waypoints = self.trace(&nodes, index);
+            let mut waypoints = Self::trace(nodes, index);
             waypoints.push(goal);
             PlannedPath::new(waypoints)
         })

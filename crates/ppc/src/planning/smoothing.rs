@@ -46,11 +46,22 @@ impl PathSmoother {
     /// Smooths a path.  Paths with fewer than three way-points are returned
     /// unchanged.
     pub fn run(&self, model: &dyn ObstacleModel, path: &PlannedPath) -> PlannedPath {
+        let mut smoothed = PlannedPath::default();
+        self.run_into(model, path, &mut smoothed);
+        smoothed
+    }
+
+    /// [`PathSmoother::run`] into a caller-provided path, reusing its
+    /// way-point storage (allocation-free once at capacity, bit-identical
+    /// output).
+    pub fn run_into(&self, model: &dyn ObstacleModel, path: &PlannedPath, out: &mut PlannedPath) {
+        out.waypoints.clear();
         if path.len() < 3 {
-            return path.clone();
+            out.waypoints.extend_from_slice(&path.waypoints);
+            return;
         }
         let points = &path.waypoints;
-        let mut smoothed = vec![points[0]];
+        out.waypoints.push(points[0]);
         let mut current = 0;
         while current + 1 < points.len() {
             // Furthest way-point visible from `current`.
@@ -61,10 +72,9 @@ impl PathSmoother {
                     break;
                 }
             }
-            smoothed.push(points[next]);
+            out.waypoints.push(points[next]);
             current = next;
         }
-        PlannedPath::new(smoothed)
     }
 }
 

@@ -40,11 +40,23 @@ impl TrajectoryGenerator {
     /// Converts a path into a trajectory.  Empty paths produce empty
     /// trajectories.
     pub fn run(&self, path: &PlannedPath) -> Trajectory {
+        let mut trajectory = Trajectory::default();
+        self.run_into(path, &mut Vec::new(), &mut trajectory);
+        trajectory
+    }
+
+    /// [`TrajectoryGenerator::run`] into caller-provided buffers:
+    /// `positions` is resampling scratch, `out` receives the trajectory.
+    /// Both reuse their storage across calls (allocation-free once at
+    /// capacity); the output is bit-identical to [`TrajectoryGenerator::run`].
+    pub fn run_into(&self, path: &PlannedPath, positions: &mut Vec<Vec3>, out: &mut Trajectory) {
+        out.waypoints.clear();
         if path.is_empty() {
-            return Trajectory::default();
+            return;
         }
         // Resample the polyline at roughly uniform spacing.
-        let mut positions: Vec<Vec3> = vec![path.waypoints[0]];
+        positions.clear();
+        positions.push(path.waypoints[0]);
         for pair in path.waypoints.windows(2) {
             let (from, to) = (pair[0], pair[1]);
             let length = from.distance(to);
@@ -54,7 +66,6 @@ impl TrajectoryGenerator {
             }
         }
 
-        let mut waypoints = Vec::with_capacity(positions.len());
         for (index, &position) in positions.iter().enumerate() {
             let direction = if index + 1 < positions.len() {
                 positions[index + 1] - position
@@ -70,9 +81,8 @@ impl TrajectoryGenerator {
                 }
                 None => (Vec3::ZERO, 0.0),
             };
-            waypoints.push(Waypoint { position, yaw, velocity });
+            out.waypoints.push(Waypoint { position, yaw, velocity });
         }
-        Trajectory::new(waypoints)
     }
 }
 
@@ -113,11 +123,8 @@ mod tests {
     #[test]
     fn path_length_is_preserved_by_resampling() {
         let generator = TrajectoryGenerator::default();
-        let path = PlannedPath::new(vec![
-            Vec3::ZERO,
-            Vec3::new(5.0, 0.0, 0.0),
-            Vec3::new(5.0, 5.0, 0.0),
-        ]);
+        let path =
+            PlannedPath::new(vec![Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0), Vec3::new(5.0, 5.0, 0.0)]);
         let trajectory = generator.run(&path);
         assert!((trajectory.path_length() - path.length()).abs() < 1e-6);
     }

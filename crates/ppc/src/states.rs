@@ -115,10 +115,7 @@ impl Trajectory {
 
     /// Total path length along the way-points (m).
     pub fn path_length(&self) -> f64 {
-        self.waypoints
-            .windows(2)
-            .map(|pair| pair[0].position.distance(pair[1].position))
-            .sum()
+        self.waypoints.windows(2).map(|pair| pair[0].position.distance(pair[1].position)).sum()
     }
 
     /// Index of the way-point closest to `position`.
@@ -200,7 +197,9 @@ impl StateField {
             | Self::WaypointVx
             | Self::WaypointVy
             | Self::WaypointVz => Stage::Planning,
-            Self::CommandVx | Self::CommandVy | Self::CommandVz | Self::CommandYawRate => Stage::Control,
+            Self::CommandVx | Self::CommandVy | Self::CommandVz | Self::CommandYawRate => {
+                Stage::Control
+            }
         }
     }
 

@@ -185,9 +185,7 @@ impl EnvironmentKind {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let density = rng.gen_range(0.02..0.25);
                 let side = rng.gen_range(3.0..12.0);
-                EnvironmentGenerator::new(density, side)
-                    .with_seed(rng.gen())
-                    .generate("Randomized")
+                EnvironmentGenerator::new(density, side).with_seed(rng.gen()).generate("Randomized")
             }
         }
     }
@@ -209,9 +207,12 @@ pub struct EnvironmentGenerator {
 const WORLD_HALF_EXTENT: f64 = 40.0;
 /// Default flight altitude used for start and goal.
 const FLIGHT_ALTITUDE: f64 = 2.5;
-/// Keep-out radius around start and goal so missions always begin and end in
-/// free space.
-const KEEP_OUT_RADIUS: f64 = 6.0;
+/// Clearance between start/goal and the nearest obstacle *edge*, so missions
+/// always begin and end in free space with room to maneuver.  The generator
+/// adds the obstacle's own half-diagonal on top of this, since a cuboid whose
+/// center clears a fixed radius can still cover the corner points when its
+/// side length is large (Dense uses 10 m cubes, Randomized up to 12 m).
+const KEEP_OUT_CLEARANCE: f64 = 2.0;
 
 impl EnvironmentGenerator {
     /// Creates a generator from the paper's `[density, side length]`
@@ -277,7 +278,8 @@ impl EnvironmentGenerator {
             let cy = rng.gen_range(self.bounds.min.y + 1.0..self.bounds.max.y - 1.0);
             let height = rng.gen_range(self.side_length * 0.8..self.side_length * 1.6);
             let center = Vec3::new(cx, cy, height / 2.0);
-            if center.distance_xy(start) < KEEP_OUT_RADIUS || center.distance_xy(goal) < KEEP_OUT_RADIUS {
+            let keep_out = self.side_length * 0.5 * std::f64::consts::SQRT_2 + KEEP_OUT_CLEARANCE;
+            if center.distance_xy(start) < keep_out || center.distance_xy(goal) < keep_out {
                 continue;
             }
             obstacles.push(Obstacle::from_center(
@@ -303,10 +305,7 @@ fn factory() -> Environment {
             if (cx - gap_x).abs() < 5.0 {
                 continue;
             }
-            obstacles.push(Obstacle::from_center(
-                Vec3::new(cx, y, 3.0),
-                Vec3::new(9.0, 1.0, 6.0),
-            ));
+            obstacles.push(Obstacle::from_center(Vec3::new(cx, y, 3.0), Vec3::new(9.0, 1.0, 6.0)));
         }
     }
 
@@ -317,10 +316,7 @@ fn factory() -> Environment {
             if (gx < -20.0 && gy < -15.0) || (gx > 20.0 && gy > 15.0) {
                 continue;
             }
-            obstacles.push(Obstacle::from_center(
-                Vec3::new(gx, gy, 2.0),
-                Vec3::new(4.0, 4.0, 4.0),
-            ));
+            obstacles.push(Obstacle::from_center(Vec3::new(gx, gy, 2.0), Vec3::new(4.0, 4.0, 4.0)));
         }
     }
 
@@ -379,6 +375,23 @@ mod tests {
             assert!(env.is_free(env.start(), 0.5), "{} start blocked", env.name());
             assert!(env.is_free(env.goal(), 0.5), "{} goal blocked", env.name());
             assert!(env.mission_length() > 10.0);
+        }
+    }
+
+    #[test]
+    fn keep_out_accounts_for_obstacle_footprint_across_seeds() {
+        // Regression: 10 m Dense cubes whose centers cleared the old fixed
+        // 6 m radius could still cover the start/goal corners (seeds 0 and 8
+        // were unplannable for every planner).  The planners query with a
+        // 0.7 m margin, so demand at least that much clearance everywhere.
+        for seed in 0..12 {
+            for kind in
+                [EnvironmentKind::Sparse, EnvironmentKind::Dense, EnvironmentKind::Randomized]
+            {
+                let env = kind.build(seed);
+                assert!(env.is_free(env.start(), 0.7), "{} seed {seed} start blocked", env.name());
+                assert!(env.is_free(env.goal(), 0.7), "{} seed {seed} goal blocked", env.name());
+            }
         }
     }
 

@@ -34,7 +34,7 @@ pub mod world;
 pub use energy::{EnergyMeter, PowerModel};
 pub use env::{Environment, EnvironmentGenerator, EnvironmentKind, Obstacle};
 pub use geometry::{Aabb, Pose, Vec3};
-pub use sensors::{DepthCamera, DepthFrame, Imu, ImuSample};
+pub use sensors::{CaptureScratch, DepthCamera, DepthFrame, Imu, ImuSample};
 pub use vehicle::{FlightCommand, Quadrotor, QuadrotorParams, QuadrotorState};
 pub use world::{MissionConfig, MissionStatus, World};
 
@@ -43,7 +43,7 @@ pub mod prelude {
     pub use crate::energy::{EnergyMeter, PowerModel};
     pub use crate::env::{Environment, EnvironmentGenerator, EnvironmentKind, Obstacle};
     pub use crate::geometry::{Aabb, Pose, Vec3};
-    pub use crate::sensors::{DepthCamera, DepthFrame, Imu, ImuSample};
+    pub use crate::sensors::{CaptureScratch, DepthCamera, DepthFrame, Imu, ImuSample};
     pub use crate::vehicle::{FlightCommand, Quadrotor, QuadrotorParams, QuadrotorState};
     pub use crate::world::{MissionConfig, MissionStatus, World};
 }

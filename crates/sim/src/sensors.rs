@@ -58,6 +58,23 @@ impl Default for DepthCamera {
     }
 }
 
+/// Reusable buffers for [`DepthCamera::capture_into`]: the indices of the
+/// obstacles that survive the per-frame broad-phase cull.
+///
+/// Scratches hold no semantic state — a fresh scratch produces the same
+/// frame as a reused one; reuse only avoids the per-frame allocation.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureScratch {
+    visible: Vec<usize>,
+}
+
+impl CaptureScratch {
+    /// Creates an empty scratch; the buffer grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl DepthCamera {
     /// Total number of rays cast per frame.
     pub fn ray_count(&self) -> usize {
@@ -66,8 +83,69 @@ impl DepthCamera {
 
     /// Captures a depth frame from `pose` looking along the pose heading.
     pub fn capture(&self, env: &Environment, pose: &Pose) -> DepthFrame {
-        let mut points = Vec::new();
+        let mut frame = DepthFrame::default();
+        self.capture_into(env, pose, &mut CaptureScratch::new(), &mut frame);
+        frame
+    }
+
+    /// [`DepthCamera::capture`] into caller-provided buffers: reuses the
+    /// frame's point storage and the scratch's cull list, so steady-state
+    /// captures perform zero heap allocations.  The produced frame is
+    /// bit-identical to [`DepthCamera::capture`]'s.
+    ///
+    /// Before casting any rays, obstacles are broad-phase culled once per
+    /// frame: boxes farther than the sensing range and boxes entirely behind
+    /// the camera plane can never produce a hit, so the O(rays × obstacles)
+    /// inner loop skips them.  Both tests are conservative — the surviving
+    /// set always contains every obstacle any ray could hit — which is what
+    /// keeps the output bit-identical.
+    pub fn capture_into(
+        &self,
+        env: &Environment,
+        pose: &Pose,
+        scratch: &mut CaptureScratch,
+        frame: &mut DepthFrame,
+    ) {
+        frame.points.clear();
+        frame.rays_cast = self.ray_count();
         let origin = pose.position;
+
+        // Broad-phase cull.  The behind-the-camera test is only valid when
+        // every ray direction has a non-negative component along the camera
+        // heading, i.e. both fields of view stay within a half-space.
+        let forward = pose.forward();
+        let half_space_valid = self.horizontal_fov <= std::f64::consts::PI
+            && self.vertical_fov <= std::f64::consts::PI;
+        scratch.visible.clear();
+        for (index, obstacle) in env.obstacles().iter().enumerate() {
+            let aabb = obstacle.aabb;
+            // Range cull: the nearest point of the box is beyond max_range,
+            // so any ray's entry parameter would exceed it.
+            let closest = Vec3::new(
+                origin.x.clamp(aabb.min.x, aabb.max.x),
+                origin.y.clamp(aabb.min.y, aabb.max.y),
+                origin.z.clamp(aabb.min.z, aabb.max.z),
+            );
+            if closest.distance(origin) > self.max_range {
+                continue;
+            }
+            // Behind cull: if even the box's support point along the heading
+            // is behind the camera plane, the whole box is (convexity), and
+            // forward rays cannot enter it.
+            if half_space_valid {
+                let support = Vec3::new(
+                    if forward.x >= 0.0 { aabb.max.x } else { aabb.min.x },
+                    if forward.y >= 0.0 { aabb.max.y } else { aabb.min.y },
+                    if forward.z >= 0.0 { aabb.max.z } else { aabb.min.z },
+                );
+                if (support - origin).dot(forward) < 0.0 {
+                    continue;
+                }
+            }
+            scratch.visible.push(index);
+        }
+
+        let obstacles = env.obstacles();
         for vi in 0..self.vertical_rays {
             let v_frac = if self.vertical_rays > 1 {
                 vi as f64 / (self.vertical_rays - 1) as f64 - 0.5
@@ -82,25 +160,21 @@ impl DepthCamera {
                     0.0
                 };
                 let yaw = pose.yaw + h_frac * self.horizontal_fov;
-                let direction = Vec3::new(
-                    yaw.cos() * pitch.cos(),
-                    yaw.sin() * pitch.cos(),
-                    pitch.sin(),
-                );
+                let direction =
+                    Vec3::new(yaw.cos() * pitch.cos(), yaw.sin() * pitch.cos(), pitch.sin());
                 let mut nearest: Option<f64> = None;
-                for obstacle in env.obstacles() {
-                    if let Some(t) = obstacle.aabb.ray_intersection(origin, direction) {
+                for &index in &scratch.visible {
+                    if let Some(t) = obstacles[index].aabb.ray_intersection(origin, direction) {
                         if t <= self.max_range && nearest.map_or(true, |best| t < best) {
                             nearest = Some(t);
                         }
                     }
                 }
                 if let Some(t) = nearest {
-                    points.push(origin + direction * t);
+                    frame.points.push(origin + direction * t);
                 }
             }
         }
-        DepthFrame { points, rays_cast: self.ray_count() }
     }
 }
 
@@ -165,7 +239,11 @@ impl Imu {
         self.previous_yaw = Some(yaw);
         ImuSample {
             acceleration: acceleration
-                + Vec3::new(self.noise(self.accel_noise_std), self.noise(self.accel_noise_std), self.noise(self.accel_noise_std)),
+                + Vec3::new(
+                    self.noise(self.accel_noise_std),
+                    self.noise(self.accel_noise_std),
+                    self.noise(self.accel_noise_std),
+                ),
             yaw_rate: yaw_rate + self.noise(self.gyro_noise_std),
         }
     }

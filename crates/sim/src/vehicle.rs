@@ -143,7 +143,8 @@ mod tests {
 
     #[test]
     fn accelerates_towards_setpoint_with_limits() {
-        let params = QuadrotorParams { max_accel: 2.0, max_speed: 4.0, ..QuadrotorParams::default() };
+        let params =
+            QuadrotorParams { max_accel: 2.0, max_speed: 4.0, ..QuadrotorParams::default() };
         let mut quad = Quadrotor::new(Vec3::ZERO, 0.0, params);
         let command = FlightCommand::new(Vec3::new(10.0, 0.0, 0.0), 0.0);
         quad.step(&command, 0.5);

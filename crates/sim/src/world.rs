@@ -240,7 +240,12 @@ mod tests {
         let env = EnvironmentKind::Dense.build(2);
         // Aim straight at the first obstacle's center.
         let target = env.obstacles()[0].aabb.center();
-        let mut world = World::new(env, QuadrotorParams::default(), PowerModel::default(), MissionConfig::default());
+        let mut world = World::new(
+            env,
+            QuadrotorParams::default(),
+            PowerModel::default(),
+            MissionConfig::default(),
+        );
         let mut steps = 0;
         while world.status() == MissionStatus::InProgress && steps < 50_000 {
             let to_target = target - world.vehicle().state().position;

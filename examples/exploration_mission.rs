@@ -31,7 +31,11 @@ fn main() {
     let mut current_path: Vec<Vec3> = Vec::new();
     let mut goals_visited = 0;
 
-    println!("Exploring a {:.0} m x {:.0} m area...", bounds.max.x - bounds.min.x, bounds.max.y - bounds.min.y);
+    println!(
+        "Exploring a {:.0} m x {:.0} m area...",
+        bounds.max.x - bounds.min.x,
+        bounds.max.y - bounds.min.y
+    );
     while world.status() == MissionStatus::InProgress {
         let pose = world.vehicle().pose();
         let position = world.vehicle().state().position;

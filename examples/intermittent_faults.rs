@@ -59,7 +59,8 @@ fn main() {
     let spec = MissionSpec::new(EnvironmentKind::Sparse, 52).with_time_budget(300.0);
 
     println!("Training the autoencoder detector on error-free missions...");
-    let training = TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
+    let training =
+        TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
     let (detectors, _) = train_detectors(&training);
 
     let base = FaultSpec {

@@ -12,7 +12,12 @@ use mavfi::prelude::*;
 
 fn main() -> Result<(), MavfiError> {
     println!("Training the detectors on error-free missions in randomized environments...");
-    let training = TrainingSpec { missions: 2, mission_time_budget: 40.0, epochs: 15, ..TrainingSpec::default() };
+    let training = TrainingSpec {
+        missions: 2,
+        mission_time_budget: 40.0,
+        epochs: 15,
+        ..TrainingSpec::default()
+    };
     let (detectors, telemetry) = train_detectors(&training);
     println!(
         "  {} telemetry samples, autoencoder threshold {:.4}",

@@ -40,8 +40,8 @@ fn main() -> Result<(), MavfiError> {
         );
     }
 
-    let inflation = (faulty.qof.flight_time_s - golden.qof.flight_time_s)
-        / golden.qof.flight_time_s.max(1e-9);
+    let inflation =
+        (faulty.qof.flight_time_s - golden.qof.flight_time_s) / golden.qof.flight_time_s.max(1e-9);
     println!("Flight-time change caused by the fault: {:+.1}%", inflation * 100.0);
     Ok(())
 }

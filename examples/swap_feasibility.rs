@@ -16,7 +16,14 @@ fn main() {
 
     println!(
         "{:<12} {:<12} {:<12} {:>9} {:>10} {:>10} {:>9} {:>9}",
-        "airframe", "platform", "scheme", "time (s)", "energy(kJ)", "margin(%)", "throttle", "feasible"
+        "airframe",
+        "platform",
+        "scheme",
+        "time (s)",
+        "energy(kJ)",
+        "margin(%)",
+        "throttle",
+        "feasible"
     );
 
     for uav in UavSpec::paper_uavs() {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local lint gate: formatting, clippy (warnings are errors) and
+# rustdoc (warnings are errors, including broken intra-doc links).
+#
+# Usage: ./scripts/check.sh
+#
+# This is the cheap half of CI (.github/workflows/ci.yml); it does not run
+# the test suite, which takes ~30+ minutes on a small machine — use
+# `cargo test -q` for that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "All checks passed."

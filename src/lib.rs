@@ -1,17 +1,13 @@
-//! `mavfi-suite` is the workspace-root helper package of the MAVFI
-//! reproduction.  It exists so that the repository-level `examples/` and
-//! `tests/` directories can exercise the public APIs of every crate in the
-//! workspace.  All functionality lives in the member crates; this crate only
-//! re-exports them for convenience.
+//! `mavfi-suite` is the workspace-root facade of the MAVFI reproduction:
+//! it re-exports every member crate so the repository-level `examples/`
+//! and `tests/` directories can exercise the whole workspace, and its
+//! crate documentation below is the repository `README.md` (whose code
+//! blocks compile as doctests).
 //!
-//! # Examples
-//!
-//! ```
-//! use mavfi_suite::prelude::*;
-//!
-//! let env = EnvironmentKind::Sparse.build(7);
-//! assert!(env.obstacles().len() > 0);
-//! ```
+//! ---
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub use mavfi;
 pub use mavfi_detect;
@@ -23,6 +19,15 @@ pub use mavfi_ppc;
 pub use mavfi_sim;
 
 /// Convenience re-exports used by the examples and integration tests.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_suite::prelude::*;
+///
+/// let env = EnvironmentKind::Sparse.build(7);
+/// assert!(env.obstacles().len() > 0);
+/// ```
 pub mod prelude {
     pub use mavfi::prelude::*;
 }

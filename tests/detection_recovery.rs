@@ -4,8 +4,12 @@
 use mavfi_suite::prelude::*;
 
 fn quick_detectors() -> TrainedDetectors {
-    let training = TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
-    train_detectors(&training).0
+    // Every test in this binary shares one trained bank via the process-wide
+    // cache: training flies real missions and is by far the slowest part of
+    // the suite, so retraining per test would multiply the wall time.
+    let training =
+        TrainingSpec { missions: 2, base_seed: 640, mission_time_budget: 30.0, epochs: 10 };
+    (*TrainedDetectorCache::global().get_or_train(EnvironmentKind::Randomized, &training)).clone()
 }
 
 /// A way-point exponent flip is the clearest failure mode of the paper's

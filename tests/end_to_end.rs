@@ -38,10 +38,12 @@ fn missions_are_deterministic_across_runs() {
 
 #[test]
 fn different_seeds_produce_different_flights() {
-    let a = MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 1).with_time_budget(200.0))
-        .run_golden();
-    let b = MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 2).with_time_budget(200.0))
-        .run_golden();
+    let a =
+        MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 1).with_time_budget(200.0))
+            .run_golden();
+    let b =
+        MissionRunner::new(MissionSpec::new(EnvironmentKind::Sparse, 2).with_time_budget(200.0))
+            .run_golden();
     assert_ne!(a.trail, b.trail, "different seeds should generate different environments");
 }
 

@@ -43,8 +43,11 @@ fn fig3_quick_campaign_runs_end_to_end() {
 fn table2_overheads_follow_the_paper_ordering() {
     // Build a small campaign on the obstacle-free Farm environment and
     // derive Table II from it.
-    let training = TrainingSpec { missions: 1, base_seed: 931, mission_time_budget: 25.0, epochs: 5 };
-    let (detectors, _) = train_detectors(&training);
+    let training =
+        TrainingSpec { missions: 1, base_seed: 931, mission_time_budget: 25.0, epochs: 5 };
+    let detectors = (*TrainedDetectorCache::global()
+        .get_or_train(EnvironmentKind::Randomized, &training))
+    .clone();
     let runner = CampaignRunner::new(detectors);
     let config = CampaignConfig {
         environment: EnvironmentKind::Farm,

@@ -62,16 +62,15 @@ fn permanent_command_fault_prevents_mission_completion_unlike_transient() {
         let config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
         let mut pipeline = PpcPipeline::new(config, environment.start(), environment.goal());
         let camera = DepthCamera::default();
-        let mut world =
-            World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+        let mut world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
         let base = FaultSpec {
             target: InjectionTarget::State(StateField::CommandVx),
             model: FaultModel::StuckAt { value: 0.0 },
             trigger_tick: 5,
             seed: 3,
         };
-        let mut injector =
-            recurrence.map(|recurrence| RecurringInjector::new(RecurringFaultSpec { base, recurrence }));
+        let mut injector = recurrence
+            .map(|recurrence| RecurringInjector::new(RecurringFaultSpec { base, recurrence }));
         while world.status() == MissionStatus::InProgress {
             let frame = camera.capture(world.environment(), &world.vehicle().pose());
             let command = match injector.as_mut() {

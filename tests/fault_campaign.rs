@@ -38,8 +38,11 @@ fn campaign_plans_have_paper_shape() {
 
 #[test]
 fn quick_campaign_produces_consistent_summaries() {
-    let training = TrainingSpec { missions: 1, base_seed: 321, mission_time_budget: 25.0, epochs: 5 };
-    let (detectors, _) = train_detectors(&training);
+    let training =
+        TrainingSpec { missions: 1, base_seed: 321, mission_time_budget: 25.0, epochs: 5 };
+    let detectors = (*TrainedDetectorCache::global()
+        .get_or_train(EnvironmentKind::Randomized, &training))
+    .clone();
     let runner = CampaignRunner::new(detectors);
     let config = CampaignConfig {
         environment: EnvironmentKind::Farm,

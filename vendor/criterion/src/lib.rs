@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion 0.5 API the bench targets use
+//! (`Criterion::bench_function`, `benchmark_group`, `group.sample_size`,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros) with a
+//! plain wall-clock timer: each benchmark runs a short warm-up, then
+//! `sample_size` timed batches, and prints min/mean timings to stdout.  No
+//! statistics, plots or baselines — just enough to execute the paper's
+//! experiment drivers and report per-iteration cost.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group sharing configuration, mirroring criterion's group API.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    pending_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one batch per configured sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(routine());
+        for _ in 0..self.pending_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut bencher =
+        Bencher { samples: Vec::new(), iters_per_sample: 1, pending_samples: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!("{id}: mean {mean:?}, min {min:?} ({} samples)", bencher.samples.len());
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut runs = 0u32;
+        Criterion::default().bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 10);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 3 samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+}

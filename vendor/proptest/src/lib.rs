@@ -1,0 +1,639 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A deterministic mini property-testing engine exposing the slice of the
+//! proptest API the workspace's test suites use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings,
+//! * [`Strategy`] implementations for numeric ranges, tuples (up to six
+//!   elements), [`Just`], [`any`] and [`collection::vec`],
+//! * `prop_map`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and
+//!   `prop_assume!`,
+//! * committed regression seeds: each test first replays the seeds listed in
+//!   `proptest-regressions/<source-file-stem>.txt` under the crate root,
+//!   then runs `PROPTEST_CASES` (default 64) freshly derived cases.
+//!
+//! There is no shrinking: a failure reports the generating seed, which can be
+//! committed to the regression file to pin the exact case forever.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating one test case.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Creates the generator for a given case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..hi)
+        }
+    }
+}
+
+/// Why a test-case closure did not return success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Generates values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring proptest's `prop_map`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `predicate` (best effort: after 100
+    /// rejected draws the last value is returned and the case will usually be
+    /// rejected again by the property's own `prop_assume!`).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        predicate: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, predicate }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100 {
+            let value = self.inner.sample(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter `{}` rejected 100 consecutive draws", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                // Occasionally pin the endpoints so boundary behaviour is
+                // exercised even with few cases.
+                match rng.index(0, 32) {
+                    0 => self.start,
+                    _ => self.start + unit * (self.end - self.start),
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                match rng.index(0, 32) {
+                    0 => start,
+                    1 => end,
+                    _ => start + (rng.unit_f64() as $t) * (end - start),
+                }
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Raw bit patterns cover the full spectrum (subnormals, infinities,
+        // NaNs); properties needing finite values guard with prop_assume!.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for a type: `any::<u64>()`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self { lo: exact, hi_exclusive: exact + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self { lo: range.start, hi_exclusive: range.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            Self { lo: *range.start(), hi_exclusive: range.end() + 1 }
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length falls in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.index(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Default number of freshly generated cases per property.
+const DEFAULT_CASES: u64 = 64;
+/// Give up when assumptions reject this multiple of the case budget.
+const MAX_REJECT_FACTOR: u64 = 20;
+
+/// Per-block configuration, set with `#![proptest_config(...)]` as the
+/// first item inside [`proptest!`].
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property (regression seeds replay on
+    /// top of this budget).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    /// The default honours the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        Self { cases: case_budget() as u32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn regression_file(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Reads committed regression seeds for one property.
+///
+/// File format, one entry per line: `property_name = seed`, `#` comments.
+fn regression_seeds(path: &Path, fn_name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, seed)) = line.split_once('=') {
+            if name.trim() == fn_name {
+                if let Ok(seed) = seed.trim().parse::<u64>() {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+fn case_budget() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_CASES)
+}
+
+/// Drives one property with the default configuration.  Called by the
+/// [`proptest!`] macro — not public API in real proptest, but harmless to
+/// expose here.
+pub fn run_property<F>(manifest_dir: &str, source_file: &str, fn_name: &str, case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_property_with(ProptestConfig::default(), manifest_dir, source_file, fn_name, case);
+}
+
+/// Drives one property: replays committed regression seeds, then runs the
+/// configured number of derived-seed cases.
+pub fn run_property_with<F>(
+    config: ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    fn_name: &str,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let regressions = regression_file(manifest_dir, source_file);
+    let mut run_seed = |seed: u64, origin: &str| {
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => true,
+            Err(TestCaseError::Reject(_)) => false,
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property `{fn_name}` failed ({origin}, seed {seed}): {message}\n\
+                 pin it by adding `{fn_name} = {seed}` to {}",
+                regressions.display()
+            ),
+        }
+    };
+
+    for seed in regression_seeds(&regressions, fn_name) {
+        run_seed(seed, "regression");
+    }
+
+    let budget = u64::from(config.cases);
+    let base = fnv1a(fn_name) ^ fnv1a(source_file);
+    let mut accepted = 0u64;
+    let mut attempt = 0u64;
+    while accepted < budget {
+        if attempt > budget * MAX_REJECT_FACTOR {
+            panic!(
+                "property `{fn_name}` rejected too many cases \
+                 ({accepted}/{budget} accepted after {attempt} attempts)"
+            );
+        }
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+        if run_seed(seed, "generated") {
+            accepted += 1;
+        }
+        attempt += 1;
+    }
+}
+
+/// Declares property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property_with(
+                $config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__rng: &mut $crate::TestRng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                    let __inputs =
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ");
+                    let __case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case().map_err(|err| match err {
+                        $crate::TestCaseError::Fail(message) => $crate::TestCaseError::Fail(
+                            format!("{message}\n  inputs: {__inputs}"),
+                        ),
+                        reject => reject,
+                    })
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the current case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($condition)
+            )));
+        }
+    };
+    ($condition:expr, $($fmt:tt)+) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (redrawn, not a failure) unless `condition`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !($condition) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($condition).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in -5.0f64..5.0, n in 1u32..10, i in 0i32..=3) {
+            prop_assert!((-5.0..5.0).contains(&v));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((0..=3).contains(&i));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..4, 10u8..14).prop_map(|(a, b)| (b, a)),
+        ) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(items in collection::vec(0u8..255, 2..6)) {
+            prop_assert!(items.len() >= 2 && items.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in any::<u64>()) {
+            prop_assume!(v.is_multiple_of(2));
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            super::run_property("/tmp", "det.rs", "det_case", |rng| {
+                out.push(rng.next_u64());
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

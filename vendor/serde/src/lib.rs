@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde replacement.  Instead of serde's visitor-based zero-copy
+//! architecture, this crate uses a concrete JSON-like [`Value`] tree as its
+//! data model:
+//!
+//! * [`Serialize`] renders a type into a [`Value`],
+//! * [`Deserialize`] reconstructs a type from a [`Value`],
+//! * the derive macros (re-exported from `serde_derive`) generate both for
+//!   plain structs and enums,
+//! * the sibling `serde_json` vendor crate maps [`Value`] to and from JSON
+//!   text.
+//!
+//! The public names (`serde::Serialize`, `serde::Deserialize`,
+//! `serde::de::DeserializeOwned`, …) match the real crate closely enough
+//! that the workspace code compiles unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// The self-describing data model every serializable type maps through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (insertion order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries when the value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements when the value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// Returns the string when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64`; `Null` coerces to NaN so that non-finite
+    /// floats round-trip through JSON.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64` (floats must be integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) => i64::try_from(*v).ok(),
+            Value::Float(v) if v.fract() == 0.0 && v.is_finite() => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64` (floats must be integral and non-negative).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => u64::try_from(*v).ok(),
+            Value::UInt(v) => Some(*v),
+            Value::Float(v) if v.fract() == 0.0 && *v >= 0.0 && v.is_finite() => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean when the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Alias matching serde's `de::Error::custom`.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Self::msg(message.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from the [`Value`] data model.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde bounds (`for<'de> Deserialize<'de>`); this implementation always
+/// copies out of the value tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserialization-side re-exports matching `serde::de::*` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned, Error};
+}
+
+/// Serialization-side re-exports matching `serde::ser::*` paths.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// Looks up and deserializes a struct field from derived map output.
+///
+/// # Errors
+///
+/// Fails when the field is missing or its value does not deserialize.
+pub fn from_field<T: DeserializeOwned>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, value)) => {
+            T::from_value(value).map_err(|err| Error::msg(format!("field `{key}`: {err}")))
+        }
+        None => Err(Error::msg(format!("missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and std-type implementations.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| Error::msg(
+                    concat!("expected an integer for ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(
+                    concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(v) => Value::Int(v),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| Error::msg(
+                    concat!("expected an unsigned integer for ", stringify!($t))))?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(
+                    concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            // JSON has no non-finite literals; mirror serde_json's `null`.
+            Value::Null
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::msg("expected a number for f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::msg("expected a boolean"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::msg("expected a one-character string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected a one-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::msg("expected a string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(value)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence"))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(value)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Default + Copy, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence"))?;
+        if seq.len() != N {
+            return Err(Error::msg(format!("expected an array of length {N}, got {}", seq.len())));
+        }
+        let mut out = [T::default(); N];
+        for (slot, element) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(element)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::msg("expected a tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::msg(format!(
+                        "expected a tuple of length {expected}, got {}", seq.len())));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+/// Maps serialize as sequences of `[key, value]` pairs so that non-string
+/// keys (enums, integers) survive the JSON round-trip.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: DeserializeOwned + Eq + std::hash::Hash,
+    V: DeserializeOwned,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence of pairs"))?;
+        let mut map = HashMap::with_capacity_and_hasher(seq.len(), S::default());
+        for pair in seq {
+            let (k, v) = <(K, V)>::from_value(pair)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence of pairs"))?;
+        let mut map = BTreeMap::new();
+        for pair in seq {
+            let (k, v) = <(K, V)>::from_value(pair)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: DeserializeOwned + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence"))?;
+        let mut set = HashSet::with_capacity_and_hasher(seq.len(), S::default());
+        for element in seq {
+            set.insert(T::from_value(element)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::msg("expected a sequence"))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![Value::UInt(self.as_secs()), Value::UInt(u64::from(self.subsec_nanos()))])
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let (secs, nanos) = <(u64, u32)>::from_value(value)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u8, 2.0f64), (3, 4.0)];
+        assert_eq!(Vec::<(u8, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let mut map = HashMap::new();
+        map.insert("k".to_string(), 9u32);
+        assert_eq!(HashMap::<String, u32>::from_value(&map.to_value()).unwrap(), map);
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serde implementation (see `vendor/serde`) whose data model is a
+//! JSON-like `Value` tree.  This crate supplies the matching derive macros.
+//! They are hand-rolled on top of the compiler's `proc_macro` API — no `syn`,
+//! no `quote` — and support exactly the shapes the workspace uses:
+//!
+//! * structs with named fields and no generic parameters,
+//! * unit structs,
+//! * enums whose variants are unit, tuple or struct-like.
+//!
+//! Generic types are rejected with a compile-time panic so a future use shows
+//! up as a clear error rather than a silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item a derive was attached to.
+enum Shape {
+    /// `struct Name;`
+    UnitStruct,
+    /// `struct Name { a: A, b: B }` — field names in declaration order.
+    Struct(Vec<String>),
+    /// `enum Name { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) a comma at angle-bracket depth zero.
+/// Returns `false` when the stream ended instead.
+fn skip_to_top_level_comma(iter: &mut TokenIter) -> bool {
+    let mut angle_depth = 0i64;
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            },
+            Some(_) => {}
+            None => return false,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variant bodies), returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde stub derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde stub derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        fields.push(name);
+        if !skip_to_top_level_comma(&mut iter) {
+            break;
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated elements in a tuple variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut iter = body.into_iter().peekable();
+    if iter.peek().is_none() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i64;
+    let mut saw_tokens_since_comma = true;
+    for token in iter {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    saw_tokens_since_comma = false;
+                }
+                _ => saw_tokens_since_comma = true,
+            },
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        // Trailing comma.
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde stub derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if !skip_to_top_level_comma(&mut iter) {
+            break;
+        }
+    }
+    variants
+}
+
+/// Parses the derive input down to `(type name, shape)`.
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde stub derive: generic type `{name}` is not supported; write the impl by hand"
+            );
+        }
+    }
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+            {
+                panic!("serde stub derive: tuple struct `{name}` is not supported; write the impl by hand. ({:?})", g.stream().to_string());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => return (name, Shape::UnitStruct),
+            Some(_) => continue,
+            None => panic!("serde stub derive: unexpected end of input for `{name}`"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => (name, Shape::Struct(parse_named_fields(body))),
+        "enum" => (name, Shape::Enum(parse_variants(body))),
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` — emits `impl ::serde::Serialize` building a
+/// `Value` tree mirroring serde_json's default representation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Struct(fields) => {
+            let mut entries = String::new();
+            for field in fields {
+                entries.push_str(&format!(
+                    "(\"{field}\".to_string(), ::serde::Serialize::to_value(&self.{field})),"
+                ));
+            }
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binders.join(","),
+                            elems.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders = fields.join(",");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            // A defensive arm for `#[non_exhaustive]`-style additions; all
+            // current enums are fully covered above.
+            format!(
+                "#[allow(unreachable_patterns)] match self {{ {arms} _ => ::serde::Value::Null, }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` — emits `impl ::serde::Deserialize` reading the
+/// same `Value` tree the Serialize derive produces.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!("{field}: ::serde::from_field(__map, \"{field}\")?,"));
+            }
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| ::serde::Error::msg(\
+                     \"expected a map for struct {name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ \
+                                 let __seq = __inner.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                                     \"expected a sequence for variant {name}::{v}\"))?; \
+                                 if __seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                                     ::serde::Error::msg(\"wrong arity for variant {name}::{v}\")); }} \
+                                 ::std::result::Result::Ok({name}::{v}({})) \
+                             }}",
+                            elems.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::from_field(__vmap, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ \
+                                 let __vmap = __inner.as_map().ok_or_else(|| ::serde::Error::msg(\
+                                     \"expected a map for variant {name}::{v}\"))?; \
+                                 ::std::result::Result::Ok({name}::{v} {{ {} }}) \
+                             }}",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{ \
+                     ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                             \"unknown unit variant `{{__other}}` for enum {name}\"))), \
+                     }}, \
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                         let (__tag, __inner) = &__m[0]; \
+                         match __tag.as_str() {{ \
+                             {data_arms} \
+                             __other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` for enum {name}\"))), \
+                         }} \
+                     }} \
+                     _ => ::std::result::Result::Err(::serde::Error::msg(\
+                         \"expected a string or single-entry map for enum {name}\")), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 #[allow(unused_variables)] let __value = __value; {body} \
+             }} \
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
