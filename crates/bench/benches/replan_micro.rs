@@ -1,0 +1,164 @@
+//! Microbenchmarks of the replan path: per-planner `plan_into` latency on a
+//! mission-observed occupancy grid (vs the allocating `plan` wrapper), and
+//! the end-to-end throughput of a pipeline forced to replan on every tick —
+//! the fault-triggered recovery workload of the paper's §VI-C.
+//!
+//! Records `ns/replan` and `ticks/s` entries to the bench log
+//! (`BENCH_5.json` by default).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mavfi::prelude::*;
+use mavfi_bench::bench_log;
+use mavfi_ppc::perception::occupancy::OccupancyGrid;
+use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline};
+use mavfi_ppc::planning::{PlannedPath, PlannerAlgorithm, PlannerConfig};
+use mavfi_ppc::states::Trajectory;
+use mavfi_ppc::tap::{NoopTap, StageTap, TapAction};
+use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
+use mavfi_sim::world::World;
+
+/// Flies a prefix of a Dense mission and returns the occupancy grid the
+/// vehicle observed plus its position — a realistic replan problem (the
+/// straight line to the goal is blocked by observed voxels).
+fn observed_replan_problem() -> (OccupancyGrid, Vec3, Vec3) {
+    let env = EnvironmentKind::Dense.build(8);
+    let goal = env.goal();
+    let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), 8);
+    let mut pipeline = PpcPipeline::new(config, env.start(), goal);
+    let camera = DepthCamera::default();
+    let mut world = World::new(
+        env,
+        QuadrotorParams::default(),
+        PowerModel::default(),
+        MissionConfig::default(),
+    );
+    let mut frame = DepthFrame::default();
+    let mut scratch = CaptureScratch::new();
+    for _ in 0..150 {
+        camera.capture_into(world.environment(), &world.vehicle().pose(), &mut scratch, &mut frame);
+        let tick = pipeline.tick(&frame, &world.vehicle().state(), 0.1, &mut NoopTap);
+        world.step(&tick.command, 0.1);
+    }
+    let position = world.vehicle().state().position;
+    (pipeline.occupancy().clone(), position, goal)
+}
+
+/// Times per-planner replans on the observed grid: the pooled `plan_into`
+/// path and the allocating `plan` wrapper, both on a warm planner instance.
+fn measure_planner_latency(grid: &OccupancyGrid, start: Vec3, goal: Vec3) {
+    const ITERS: u32 = 24;
+    let bounds = EnvironmentKind::Dense.build(8).bounds();
+    let config = PlannerConfig::for_bounds(bounds).with_seed(8);
+    for algorithm in PlannerAlgorithm::EXTENDED {
+        let label = format!("{algorithm:?}").to_lowercase();
+
+        let mut pooled = algorithm.instantiate(config);
+        let mut out = PlannedPath::default();
+        for _ in 0..3 {
+            pooled.plan_into(grid, start, goal, &mut out);
+        }
+        let begin = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(pooled.plan_into(grid, start, goal, &mut out));
+        }
+        let pooled_ns = begin.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        bench_log::record(
+            "replan_micro",
+            &format!("{label}_plan_into"),
+            pooled_ns,
+            "ns/replan",
+            &bench_log::note_or("observed Dense seed-8 grid, warm planner"),
+        );
+
+        let mut allocating = algorithm.instantiate(config);
+        for _ in 0..3 {
+            std::hint::black_box(allocating.plan(grid, start, goal));
+        }
+        let begin = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(allocating.plan(grid, start, goal));
+        }
+        let allocating_ns = begin.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        bench_log::record(
+            "replan_micro",
+            &format!("{label}_plan"),
+            allocating_ns,
+            "ns/replan",
+            &bench_log::note_or("observed Dense seed-8 grid, warm planner"),
+        );
+    }
+}
+
+/// A tap that requests a planning recomputation on every tick — the
+/// deterministic core of the detector's fault-triggered recovery replan.
+struct ReplanEveryTick;
+
+impl StageTap for ReplanEveryTick {
+    fn after_planning(&mut self, _trajectory: &mut Trajectory, _active_index: usize) -> TapAction {
+        TapAction::Recompute
+    }
+}
+
+/// Times the end-to-end recovery workload: a stationary pipeline replanning
+/// (A*, deterministic search) on every tick, capture included.
+fn measure_forced_replan_throughput() {
+    let env = Environment::new(
+        "replan-bench",
+        Aabb::new(Vec3::new(-10.0, -20.0, 0.0), Vec3::new(40.0, 20.0, 10.0)),
+        vec![Obstacle::from_center(Vec3::new(12.0, 0.0, 2.0), Vec3::new(4.0, 12.0, 6.0))],
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::new(30.0, 0.0, 2.0),
+    );
+    let config = PpcConfig::new(PlannerAlgorithm::AStar, env.bounds(), 3);
+    let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+    let camera = DepthCamera::default();
+    let pose = Pose::new(env.start(), 0.0);
+    let vehicle = QuadrotorState { position: env.start(), ..QuadrotorState::default() };
+    let mut frame = DepthFrame::default();
+    let mut scratch = CaptureScratch::new();
+    let mut tap = ReplanEveryTick;
+
+    const TICKS: u32 = 2_000;
+    for _ in 0..50 {
+        camera.capture_into(&env, &pose, &mut scratch, &mut frame);
+        std::hint::black_box(pipeline.tick(&frame, &vehicle, 0.1, &mut tap));
+    }
+    let begin = Instant::now();
+    for _ in 0..TICKS {
+        camera.capture_into(&env, &pose, &mut scratch, &mut frame);
+        std::hint::black_box(pipeline.tick(&frame, &vehicle, 0.1, &mut tap));
+    }
+    let elapsed = begin.elapsed().as_secs_f64();
+    bench_log::record(
+        "replan_micro",
+        "forced_replan_ticks_per_sec",
+        f64::from(TICKS) / elapsed.max(1e-9),
+        "ticks/s",
+        &bench_log::note_or("A* replan every tick, stationary walled world"),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let (grid, position, goal) = observed_replan_problem();
+    measure_planner_latency(&grid, position, goal);
+    measure_forced_replan_throughput();
+    // MAVFI_BENCH_QUICK=1 records the metrics above and skips the Criterion
+    // group (used by scripts/bench.sh).
+    if std::env::var("MAVFI_BENCH_QUICK").is_ok() {
+        return;
+    }
+    let mut group = c.benchmark_group("replan");
+    group.sample_size(10);
+    group.bench_function("rrt_star_plan_into_observed_grid", |b| {
+        let config = PlannerConfig::for_bounds(EnvironmentKind::Dense.build(8).bounds());
+        let mut planner = PlannerAlgorithm::RrtStar.instantiate(config.with_seed(8));
+        let mut out = PlannedPath::default();
+        b.iter(|| planner.plan_into(&grid, position, goal, &mut out))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

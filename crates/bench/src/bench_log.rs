@@ -2,11 +2,13 @@
 //!
 //! Every simulation-backed bench can [`record`] named scalar metrics
 //! (ticks/sec, ns/score, …).  Records accumulate as a JSON array in
-//! `BENCH_4.json` at the repository root (override the path with the
-//! `MAVFI_BENCH_LOG` environment variable), so the performance trajectory of
-//! the hot tick path is tracked across PRs: each entry carries a Unix
-//! timestamp, the bench name, the metric name, the value and its unit, plus
-//! a free-form note (used to tag pre-/post-refactor measurements).
+//! `BENCH_5.json` at the repository root (override the path with the
+//! `MAVFI_BENCH_LOG` environment variable, or pass an output file to
+//! `scripts/bench.sh`), so the performance trajectory of the hot tick path
+//! is tracked across PRs: each entry carries a Unix timestamp, the bench
+//! name, the metric name, the value and its unit, plus a free-form note
+//! (used to tag pre-/post-refactor measurements).  Earlier PRs' logs
+//! (`BENCH_4.json`, …) stay in the repository as the historical record.
 
 use std::path::PathBuf;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -14,13 +16,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use serde::Value;
 
 /// Resolves the log path: `MAVFI_BENCH_LOG` if set, otherwise
-/// `BENCH_4.json` in the workspace root.
+/// `BENCH_5.json` in the workspace root.
 pub fn log_path() -> PathBuf {
     if let Ok(path) = std::env::var("MAVFI_BENCH_LOG") {
         return PathBuf::from(path);
     }
     // CARGO_MANIFEST_DIR is crates/bench; the log lives two levels up.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_4.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
 }
 
 /// Appends one metric record to the bench log and echoes it to stdout.

@@ -1,5 +1,12 @@
 //! Collision-check kernel: predicts time to collision and which future
 //! way-point first collides.
+//!
+//! The kernel is a pure function of `(grid, position, velocity, trajectory,
+//! active_index)`, which makes it cacheable: [`CollisionChecker::run_cached`]
+//! keys its two halves — the velocity-ray march and the future-way-point
+//! scan — on the [`OccupancyGrid::revision`] counter plus the inputs each
+//! half actually reads, and skips the voxel probing entirely when a half's
+//! key is unchanged.  See `docs/PERFORMANCE.md` for the cache invariants.
 
 use mavfi_sim::geometry::Vec3;
 use serde::{Deserialize, Serialize};
@@ -24,21 +31,106 @@ impl Default for CollisionCheckerConfig {
     }
 }
 
+/// Cache key of the velocity-ray march: everything that half reads besides
+/// the grid contents (identified by their revision).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RayKey {
+    grid_revision: u64,
+    position: Vec3,
+    velocity: Vec3,
+}
+
+/// Cache key of the future-way-point scan.  The trajectory revision is
+/// caller-maintained (see [`CollisionChecker::run_cached`]); the length
+/// rides along as a cheap extra guard against a stale revision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScanKey {
+    grid_revision: u64,
+    trajectory_revision: u64,
+    trajectory_len: usize,
+    active_index: usize,
+}
+
 /// The collision-check kernel ("Col. Ck." in the paper's Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CollisionChecker {
     config: CollisionCheckerConfig,
+    // Revision-keyed memo of the two kernel halves (`run_cached`).  The
+    // cached values are `(result, hit)` pairs; a `None` or mismatched key
+    // falls through to the exact computation.
+    ray_cache: Option<(RayKey, (f64, bool))>,
+    scan_cache: Option<(ScanKey, (f64, bool))>,
+    cache_enabled: bool,
+}
+
+/// Checkers compare by configuration: the caches are memoisation state, not
+/// semantics (a warm and a cold checker produce identical estimates).
+impl PartialEq for CollisionChecker {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+    }
+}
+
+impl Default for CollisionChecker {
+    fn default() -> Self {
+        Self::new(CollisionCheckerConfig::default())
+    }
 }
 
 impl CollisionChecker {
     /// Creates a collision checker.
     pub fn new(config: CollisionCheckerConfig) -> Self {
-        Self { config }
+        Self { config, ray_cache: None, scan_cache: None, cache_enabled: true }
     }
 
     /// The active configuration.
     pub fn config(&self) -> CollisionCheckerConfig {
         self.config
+    }
+
+    /// Enables or disables the revision cache of
+    /// [`run_cached`](Self::run_cached) (enabled by default, and cleared on
+    /// disable).  A verification knob: equivalence tests fly the same
+    /// mission cached and uncached and assert bit-identical outcomes.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.ray_cache = None;
+            self.scan_cache = None;
+        }
+    }
+
+    /// Time to collision along the velocity direction: `(ttc, hit)`.
+    fn march_ray(&self, grid: &OccupancyGrid, position: Vec3, velocity: Vec3) -> (f64, bool) {
+        let speed = velocity.norm();
+        if speed > 0.1 {
+            let direction = velocity / speed;
+            let max_distance = speed * self.config.horizon;
+            let steps = (max_distance / self.config.sample_step).ceil() as usize;
+            for i in 1..=steps {
+                let distance = i as f64 * self.config.sample_step;
+                let sample = position + direction * distance;
+                if grid.is_occupied_near(sample, self.config.safety_margin) {
+                    return (distance / speed, true);
+                }
+            }
+        }
+        (f64::INFINITY, false)
+    }
+
+    /// First planned way-point inside an obstacle: `(sequence, hit)`.
+    fn scan_waypoints(
+        &self,
+        grid: &OccupancyGrid,
+        trajectory: &Trajectory,
+        active_index: usize,
+    ) -> (f64, bool) {
+        for (offset, waypoint) in trajectory.waypoints.iter().enumerate().skip(active_index) {
+            if grid.is_occupied_near(waypoint.position, self.config.safety_margin) {
+                return (offset as f64, true);
+            }
+        }
+        (-1.0, false)
     }
 
     /// Produces a collision estimate from the occupancy map, the vehicle
@@ -55,36 +147,75 @@ impl CollisionChecker {
         trajectory: &Trajectory,
         active_index: usize,
     ) -> CollisionEstimate {
-        let speed = velocity.norm();
-        let mut estimate = CollisionEstimate::default();
+        let (time_to_collision, ray_hit) = self.march_ray(grid, position, velocity);
+        let (future_collision_seq, scan_hit) = self.scan_waypoints(grid, trajectory, active_index);
+        CollisionEstimate {
+            time_to_collision,
+            future_collision_seq,
+            obstacle_ahead: ray_hit || scan_hit,
+        }
+    }
 
-        // Time to collision: march along the velocity direction.
-        if speed > 0.1 {
-            let direction = velocity / speed;
-            let max_distance = speed * self.config.horizon;
-            let steps = (max_distance / self.config.sample_step).ceil() as usize;
-            for i in 1..=steps {
-                let distance = i as f64 * self.config.sample_step;
-                let sample = position + direction * distance;
-                if grid.is_occupied_near(sample, self.config.safety_margin) {
-                    estimate.time_to_collision = distance / speed;
-                    estimate.obstacle_ahead = true;
-                    break;
-                }
-            }
+    /// [`run`](Self::run) with revision-keyed memoisation of both kernel
+    /// halves — bit-identical output, but a half whose inputs are unchanged
+    /// skips its voxel probing entirely.
+    ///
+    /// The grid side of each key is [`OccupancyGrid::revision`]; the caller
+    /// supplies `trajectory_revision`, a counter it must bump whenever the
+    /// trajectory contents change ([`PpcPipeline`] shadow-compares the
+    /// stored trajectory after the planning stage, so tap mutations —
+    /// fault corruption, abandonment restores — are caught too).
+    ///
+    /// Contract: a checker instance must be fed a single grid / trajectory
+    /// lineage.  Feeding two different grids that happen to share a
+    /// revision value could return a stale estimate; the pipeline owns one
+    /// grid, one trajectory and one checker, which satisfies this by
+    /// construction.
+    ///
+    /// [`PpcPipeline`]: crate::pipeline::PpcPipeline
+    pub fn run_cached(
+        &mut self,
+        grid: &OccupancyGrid,
+        position: Vec3,
+        velocity: Vec3,
+        trajectory: &Trajectory,
+        trajectory_revision: u64,
+        active_index: usize,
+    ) -> CollisionEstimate {
+        if !self.cache_enabled {
+            return self.run(grid, position, velocity, trajectory, active_index);
         }
 
-        // Future collision sequence: first planned way-point inside an
-        // obstacle.
-        for (offset, waypoint) in trajectory.waypoints.iter().enumerate().skip(active_index) {
-            if grid.is_occupied_near(waypoint.position, self.config.safety_margin) {
-                estimate.future_collision_seq = offset as f64;
-                estimate.obstacle_ahead = true;
-                break;
+        let ray_key = RayKey { grid_revision: grid.revision(), position, velocity };
+        let (time_to_collision, ray_hit) = match self.ray_cache {
+            Some((key, value)) if key == ray_key => value,
+            _ => {
+                let value = self.march_ray(grid, position, velocity);
+                self.ray_cache = Some((ray_key, value));
+                value
             }
-        }
+        };
 
-        estimate
+        let scan_key = ScanKey {
+            grid_revision: grid.revision(),
+            trajectory_revision,
+            trajectory_len: trajectory.len(),
+            active_index,
+        };
+        let (future_collision_seq, scan_hit) = match self.scan_cache {
+            Some((key, value)) if key == scan_key => value,
+            _ => {
+                let value = self.scan_waypoints(grid, trajectory, active_index);
+                self.scan_cache = Some((scan_key, value));
+                value
+            }
+        };
+
+        CollisionEstimate {
+            time_to_collision,
+            future_collision_seq,
+            obstacle_ahead: ray_hit || scan_hit,
+        }
     }
 }
 
@@ -145,6 +276,91 @@ mod tests {
         );
         // At 0.5 m/s the 4 s horizon only covers 2 m.
         assert!(estimate.time_to_collision.is_infinite());
+    }
+
+    /// Six way-points of which #2 and #3 sit inside `wall_grid`'s wall.
+    fn straight_trajectory() -> Trajectory {
+        let positions = [
+            Vec3::new(2.0, 0.0, 1.0),
+            Vec3::new(6.0, 0.0, 1.0),
+            Vec3::new(10.0, 0.0, 1.0),
+            Vec3::new(10.0, 1.0, 1.0),
+            Vec3::new(18.0, 0.0, 1.0),
+            Vec3::new(22.0, 0.0, 1.0),
+        ];
+        Trajectory::new(
+            positions
+                .into_iter()
+                .map(|position| Waypoint { position, ..Waypoint::default() })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn run_cached_matches_run_for_every_revision_state() {
+        let mut grid = wall_grid();
+        let mut checker = CollisionChecker::default();
+        let reference = CollisionChecker::default();
+        let mut trajectory = straight_trajectory();
+        let position = Vec3::new(0.0, 0.0, 1.0);
+        let velocity = Vec3::new(3.0, 0.0, 0.0);
+
+        // Cold, warm (same key) and warm-after-mutation calls all match the
+        // uncached kernel bit for bit.  One trajectory mutation per round,
+        // so the revision equals the round index.
+        for round in 0..3 {
+            let trajectory_revision = round as u64;
+            for repeat in 0..2 {
+                let cached = checker.run_cached(
+                    &grid,
+                    position,
+                    velocity,
+                    &trajectory,
+                    trajectory_revision,
+                    0,
+                );
+                let fresh = reference.run(&grid, position, velocity, &trajectory, 0);
+                assert_eq!(cached, fresh, "round {round} repeat {repeat}");
+            }
+            // Mutate both cache dimensions between rounds.
+            grid.insert_point(Vec3::new(6.0, round as f64, 1.0));
+            trajectory.waypoints[round].position.z = 20.0;
+        }
+    }
+
+    #[test]
+    fn run_cached_actually_skips_when_revisions_are_unchanged() {
+        // White-box: mutate the trajectory *without* bumping the caller-side
+        // revision.  A stale (cached) scan result proves the way-point march
+        // was skipped — which is exactly the contract violation the revision
+        // counter exists to prevent.
+        let grid = wall_grid();
+        let mut checker = CollisionChecker::default();
+        let mut trajectory = straight_trajectory();
+        let warm = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        assert_eq!(warm.future_collision_seq, 2.0, "way-point 2 sits inside the wall");
+
+        // Move the colliding way-point clear of the wall, same length.
+        trajectory.waypoints[2].position.y = 15.0;
+        let stale = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        assert_eq!(stale.future_collision_seq, 2.0, "unchanged key must not re-scan");
+
+        // Bumping the revision invalidates the scan half.
+        let fresh = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 1, 0);
+        assert_eq!(fresh.future_collision_seq, 3.0, "way-point 3 is the next one in the wall");
+    }
+
+    #[test]
+    fn disabling_the_cache_recomputes_every_call() {
+        let grid = wall_grid();
+        let mut checker = CollisionChecker::default();
+        let mut trajectory = straight_trajectory();
+        let _ = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        checker.set_cache_enabled(false);
+        trajectory.waypoints[2].position.y = 15.0;
+        // Same (stale) revision, but the disabled cache recomputes anyway.
+        let fresh = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        assert_eq!(fresh.future_collision_seq, 3.0);
     }
 
     #[test]

@@ -88,10 +88,56 @@ type VoxelSet = HashSet<VoxelKey, BuildHasherDefault<VoxelHasher>>;
 /// assert!(grid.is_occupied(Vec3::new(1.1, 2.1, 3.1)));
 /// assert!(!grid.is_occupied(Vec3::new(5.0, 5.0, 5.0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OccupancyGrid {
     resolution: f64,
     voxels: VoxelSet,
+    /// Monotonic mutation counter: bumped every time the occupied voxel set
+    /// actually changes (inserting an already-occupied voxel or removing a
+    /// free one does not count).  Consumers such as the
+    /// [`CollisionChecker`](crate::perception::CollisionChecker) key caches
+    /// on it: an unchanged revision guarantees every occupancy query would
+    /// return exactly what it returned before.
+    revision: u64,
+}
+
+/// Equality is *logical* — same resolution and same occupied voxel set.  The
+/// revision counter is bookkeeping (two grids that reached the same contents
+/// through different edit histories are equal).
+impl PartialEq for OccupancyGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.resolution == other.resolution && self.voxels == other.voxels
+    }
+}
+
+/// Like `PartialEq`, the wire format carries only the logical state
+/// (resolution + voxels): the revision counter is per-instance memoisation
+/// bookkeeping, meaningless across processes, so a deserialized grid starts
+/// a fresh revision history at 0.  Voxels are written in sorted key order —
+/// the set's iteration order depends on insertion history, which would
+/// otherwise leak edit history into the wire form — so logically equal
+/// grids serialize identically.
+impl Serialize for OccupancyGrid {
+    fn to_value(&self) -> serde::Value {
+        let mut voxels: Vec<VoxelKey> = self.voxels.iter().copied().collect();
+        voxels.sort_unstable();
+        serde::Value::Map(vec![
+            ("resolution".to_owned(), self.resolution.to_value()),
+            ("voxels".to_owned(), voxels.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for OccupancyGrid {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map =
+            value.as_map().ok_or_else(|| serde::Error::msg("expected a map for OccupancyGrid"))?;
+        Ok(Self {
+            resolution: serde::from_field(map, "resolution")?,
+            voxels: serde::from_field(map, "voxels")?,
+            revision: 0,
+        })
+    }
 }
 
 impl OccupancyGrid {
@@ -102,12 +148,24 @@ impl OccupancyGrid {
     /// Panics if `resolution` is not positive and finite.
     pub fn new(resolution: f64) -> Self {
         assert!(resolution > 0.0 && resolution.is_finite(), "voxel resolution must be positive");
-        Self { resolution, voxels: VoxelSet::default() }
+        Self { resolution, voxels: VoxelSet::default(), revision: 0 }
     }
 
     /// Voxel edge length (m).
     pub fn resolution(&self) -> f64 {
         self.resolution
+    }
+
+    /// The grid's monotonic mutation counter.
+    ///
+    /// Two reads returning the same value bracket a window in which no voxel
+    /// was added or removed, so any occupancy query repeated inside the
+    /// window returns a bit-identical result.  The counter only moves on
+    /// *effective* mutations: re-inserting an occupied voxel (the common
+    /// case when a hovering vehicle re-observes the same obstacles every
+    /// tick) leaves it untouched.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Number of occupied voxels.
@@ -143,7 +201,9 @@ impl OccupancyGrid {
     pub fn insert_point(&mut self, point: Vec3) {
         if point.is_finite() {
             let key = self.key_for(point);
-            self.voxels.insert(key);
+            if self.voxels.insert(key) {
+                self.revision += 1;
+            }
         }
     }
 
@@ -158,11 +218,12 @@ impl OccupancyGrid {
     /// injection to flip voxels, and by recovery to undo it).  Returns the
     /// previous occupancy.
     pub fn set_voxel(&mut self, key: VoxelKey, occupied: bool) -> bool {
-        if occupied {
-            !self.voxels.insert(key)
-        } else {
-            self.voxels.remove(&key)
+        let was_occupied =
+            if occupied { !self.voxels.insert(key) } else { self.voxels.remove(&key) };
+        if was_occupied != occupied {
+            self.revision += 1;
         }
+        was_occupied
     }
 
     /// Returns `true` if the voxel containing `point` is occupied.
@@ -249,6 +310,9 @@ impl OccupancyGrid {
 
     /// Removes every voxel.
     pub fn clear(&mut self) {
+        if !self.voxels.is_empty() {
+            self.revision += 1;
+        }
         self.voxels.clear();
     }
 }
@@ -321,6 +385,72 @@ mod tests {
         grid.insert_point(Vec3::ZERO);
         grid.clear();
         assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn revision_moves_only_on_effective_mutations() {
+        let mut grid = OccupancyGrid::new(0.5);
+        assert_eq!(grid.revision(), 0);
+
+        grid.insert_point(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(grid.revision(), 1);
+        // Re-observing the same voxel is a no-op for the counter.
+        grid.insert_point(Vec3::new(1.1, 1.1, 1.1));
+        assert_eq!(grid.revision(), 1);
+
+        let key = grid.key_for(Vec3::new(1.0, 1.0, 1.0));
+        assert!(grid.set_voxel(key, true), "already occupied");
+        assert_eq!(grid.revision(), 1, "setting an occupied voxel occupied is not a mutation");
+        assert!(grid.set_voxel(key, false));
+        assert_eq!(grid.revision(), 2);
+        assert!(!grid.set_voxel(key, false), "already free");
+        assert_eq!(grid.revision(), 2, "clearing a free voxel is not a mutation");
+
+        grid.clear();
+        assert_eq!(grid.revision(), 2, "clearing an empty grid is not a mutation");
+        grid.insert_point(Vec3::ZERO);
+        grid.clear();
+        assert_eq!(grid.revision(), 4, "insert + non-empty clear are two mutations");
+    }
+
+    #[test]
+    fn serialization_carries_logical_state_only() {
+        let mut a = OccupancyGrid::new(0.5);
+        let mut b = OccupancyGrid::new(0.5);
+        // Same contents reached through different edit histories *and*
+        // insertion orders: the revision differs and the sets may iterate
+        // differently, but the wire form (sorted keys, no revision) must
+        // not see either.
+        let points = [Vec3::ZERO, Vec3::new(3.0, 3.0, 3.0), Vec3::new(-2.0, 1.0, 4.0)];
+        for point in points {
+            a.insert_point(point);
+        }
+        b.insert_point(Vec3::new(9.0, 9.0, 9.0));
+        b.clear();
+        for point in points.iter().rev() {
+            b.insert_point(*point);
+        }
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(a.to_value(), b.to_value());
+        // A round trip restores the logical state with a fresh revision
+        // history.
+        let restored = OccupancyGrid::from_value(&b.to_value()).expect("round trip");
+        assert_eq!(restored, b);
+        assert_eq!(restored.revision(), 0);
+        assert_eq!(restored.resolution(), 0.5);
+    }
+
+    #[test]
+    fn equality_ignores_the_revision_counter() {
+        let mut a = OccupancyGrid::new(0.5);
+        let mut b = OccupancyGrid::new(0.5);
+        a.insert_point(Vec3::ZERO);
+        // `b` reaches the same contents through a longer edit history.
+        b.insert_point(Vec3::new(5.0, 5.0, 5.0));
+        b.clear();
+        b.insert_point(Vec3::ZERO);
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(a, b);
     }
 
     #[test]

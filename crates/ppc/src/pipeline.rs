@@ -224,11 +224,20 @@ pub struct PpcPipeline {
     trajectory: Trajectory,
     stats: PipelineStats,
     // Scratch buffers reused across ticks and replans so the steady-state
-    // tick performs zero heap allocations (see docs/PERFORMANCE.md for the
-    // ownership convention).
+    // tick — and, with `plan_into`, the replan path too — performs zero
+    // heap allocations (see docs/PERFORMANCE.md for the ownership
+    // convention).
     cloud: PointCloud,
+    planned: crate::planning::PlannedPath,
     smoothed: crate::planning::PlannedPath,
     resample_positions: Vec<Vec3>,
+    // Revision tracking for the collision-check cache: the trajectory
+    // revision bumps whenever the stored trajectory's contents change —
+    // replans, abandonment restores and fault corruptions through the
+    // planning tap alike, caught by shadow-comparing after the planning
+    // stage.
+    trajectory_revision: u64,
+    trajectory_shadow: Vec<Waypoint>,
 }
 
 impl std::fmt::Debug for PpcPipeline {
@@ -267,8 +276,11 @@ impl PpcPipeline {
             trajectory: Trajectory::default(),
             stats: PipelineStats::default(),
             cloud: PointCloud::default(),
+            planned: crate::planning::PlannedPath::default(),
             smoothed: crate::planning::PlannedPath::default(),
             resample_positions: Vec::new(),
+            trajectory_revision: 0,
+            trajectory_shadow: Vec::new(),
         }
     }
 
@@ -297,15 +309,32 @@ impl PpcPipeline {
         &self.mission
     }
 
+    /// The trajectory revision counter: bumped whenever the stored
+    /// trajectory's contents changed during a tick's planning stage, by a
+    /// replan or by a tap mutation.  Together with
+    /// [`OccupancyGrid::revision`] it keys the collision-check cache.
+    pub fn trajectory_revision(&self) -> u64 {
+        self.trajectory_revision
+    }
+
+    /// Enables or disables the collision-check revision cache (enabled by
+    /// default).  A verification knob: `tests/replan_equivalence.rs` flies
+    /// the same missions cached and uncached and asserts bit-identical
+    /// outcomes.
+    pub fn set_collision_cache_enabled(&mut self, enabled: bool) {
+        self.collision_checker.set_cache_enabled(enabled);
+    }
+
     /// Runs one perception-planning-control cycle.
     ///
     /// `tap` is invoked between stages and may mutate inter-kernel states
     /// (fault injection) or request stage recomputation (recovery).
     ///
-    /// The steady-state tick (no replan) performs zero heap allocations:
-    /// the point cloud, the smoothing/trajectory scratch and the returned
-    /// `Copy` [`PpcTick`] all reuse pipeline-owned buffers (asserted by
-    /// `tests/zero_alloc_tick.rs`).
+    /// The steady-state tick performs zero heap allocations — replans
+    /// included: the point cloud, the planner output (`plan_into`), the
+    /// smoothing/trajectory scratch and the returned `Copy` [`PpcTick`] all
+    /// reuse pipeline-owned buffers (asserted by `tests/zero_alloc_tick.rs`,
+    /// fault-triggered replans included).
     pub fn tick(
         &mut self,
         frame: &DepthFrame,
@@ -325,24 +354,30 @@ impl PpcPipeline {
         self.stats.count_kernel(KernelId::OctoMap);
         tap.after_occupancy(&mut self.occupancy);
 
-        let mut estimate = self.collision_checker.run(
+        let mut estimate = self.collision_checker.run_cached(
             &self.occupancy,
             position,
             vehicle.velocity,
             &self.trajectory,
+            self.trajectory_revision,
             self.tracker.active_index(),
         );
         self.stats.count_kernel(KernelId::CollisionCheck);
         if tap.after_perception(&mut estimate) == TapAction::Recompute {
             // Recovery: rebuild the perception output from scratch (occupancy
             // re-update plus collision re-check, the 289 ms path of §VI-C).
+            // When the re-inserted cloud adds no new voxel — the common case,
+            // the corruption hit the estimate, not the map — both grid and
+            // trajectory revisions are unchanged and the re-check is a pure
+            // cache hit.
             self.occupancy.insert_cloud(&self.cloud);
             self.stats.count_kernel(KernelId::OctoMap);
-            estimate = self.collision_checker.run(
+            estimate = self.collision_checker.run_cached(
                 &self.occupancy,
                 position,
                 vehicle.velocity,
                 &self.trajectory,
+                self.trajectory_revision,
                 self.tracker.active_index(),
             );
             self.stats.count_kernel(KernelId::CollisionCheck);
@@ -368,6 +403,15 @@ impl PpcPipeline {
             self.replan(position);
             self.stats.count_recompute(Stage::Planning);
             recomputed_stages.push(Stage::Planning);
+        }
+        // Revision tracking: shadow-compare the stored trajectory so *any*
+        // planning-stage mutation — replan, tap corruption, abandonment
+        // restore — bumps the revision the collision-check cache keys on.
+        // Way-points are plain `Copy` data, so the compare is a cheap linear
+        // scan and the shadow refresh reuses its buffer.
+        if self.trajectory.waypoints != self.trajectory_shadow {
+            self.trajectory_revision += 1;
+            self.trajectory_shadow.clone_from(&self.trajectory.waypoints);
         }
 
         // ----- Control -----
@@ -409,24 +453,21 @@ impl PpcPipeline {
         };
         self.stats.count_kernel(self.config.planner.kernel());
         self.stats.replans += 1;
-        match self.planner.plan(&self.occupancy, position, goal) {
-            Some(path) => {
-                self.stats.count_kernel(KernelId::Smoothing);
-                self.smoother.run_into(&self.occupancy, &path, &mut self.smoothed);
-                self.trajectory_generator.run_into(
-                    &self.smoothed,
-                    &mut self.resample_positions,
-                    &mut self.trajectory,
-                );
-                self.tracker.reset();
-                self.pid.reset();
-                true
-            }
-            None => {
-                // Keep the previous trajectory (if any); the vehicle will
-                // brake on an empty one.
-                false
-            }
+        if self.planner.plan_into(&self.occupancy, position, goal, &mut self.planned) {
+            self.stats.count_kernel(KernelId::Smoothing);
+            self.smoother.run_into(&self.occupancy, &self.planned, &mut self.smoothed);
+            self.trajectory_generator.run_into(
+                &self.smoothed,
+                &mut self.resample_positions,
+                &mut self.trajectory,
+            );
+            self.tracker.reset();
+            self.pid.reset();
+            true
+        } else {
+            // Keep the previous trajectory (if any); the vehicle will
+            // brake on an empty one.
+            false
         }
     }
 

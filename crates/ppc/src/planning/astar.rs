@@ -54,8 +54,11 @@ impl PartialOrd for QueueEntry {
 /// the configured sampling bounds, and expansion stops after
 /// `max_iterations` node pops.
 ///
-/// The open list and bookkeeping maps are pooled on the planner and reused
-/// across replans, so repeated planning does not re-grow them from empty.
+/// The open list, bookkeeping maps and the reconstruction cell buffer are
+/// pooled on the planner and reused across replans, so repeated planning
+/// does not re-grow them from empty; with
+/// [`plan_into`](MotionPlanner::plan_into) a replan touches no allocator at
+/// all once every buffer is at capacity.
 ///
 /// # Examples
 ///
@@ -83,6 +86,7 @@ pub struct AStarPlanner {
     open: BinaryHeap<QueueEntry>,
     g_cost: HashMap<Cell, f64, BuildHasherDefault<VoxelHasher>>,
     came_from: HashMap<Cell, Cell, BuildHasherDefault<VoxelHasher>>,
+    cells: Vec<Cell>,
 }
 
 impl AStarPlanner {
@@ -93,6 +97,7 @@ impl AStarPlanner {
             open: BinaryHeap::new(),
             g_cost: HashMap::default(),
             came_from: HashMap::default(),
+            cells: Vec::new(),
         }
     }
 
@@ -165,20 +170,27 @@ impl AStarPlanner {
         (1, 1, 1),
     ];
 
-    fn reconstruct(&self, mut cell: Cell, origin: Vec3, start: Vec3, goal: Vec3) -> PlannedPath {
-        let mut cells = vec![cell];
+    fn reconstruct_into(
+        &mut self,
+        mut cell: Cell,
+        origin: Vec3,
+        start: Vec3,
+        goal: Vec3,
+        out: &mut PlannedPath,
+    ) {
+        self.cells.clear();
+        self.cells.push(cell);
         while let Some(&parent) = self.came_from.get(&cell) {
             cell = parent;
-            cells.push(cell);
+            self.cells.push(cell);
         }
-        cells.reverse();
-        let mut waypoints: Vec<Vec3> =
-            cells.into_iter().map(|c| self.point_of(c, origin)).collect();
-        if let Some(first) = waypoints.first_mut() {
+        self.cells.reverse();
+        out.waypoints.clear();
+        out.waypoints.extend(self.cells.iter().map(|&c| self.point_of(c, origin)));
+        if let Some(first) = out.waypoints.first_mut() {
             *first = start;
         }
-        waypoints.push(goal);
-        PlannedPath::new(waypoints)
+        out.waypoints.push(goal);
     }
 }
 
@@ -188,9 +200,23 @@ impl MotionPlanner for AStarPlanner {
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        let mut out = PlannedPath::default();
+        self.plan_into(model, start, goal, &mut out).then_some(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        model: &dyn ObstacleModel,
+        start: Vec3,
+        goal: Vec3,
+        out: &mut PlannedPath,
+    ) -> bool {
+        out.waypoints.clear();
         let margin = self.config.margin;
         if model.segment_free(start, goal, margin) {
-            return Some(PlannedPath::new(vec![start, goal]));
+            out.waypoints.push(start);
+            out.waypoints.push(goal);
+            return true;
         }
 
         let origin = start;
@@ -208,11 +234,12 @@ impl MotionPlanner for AStarPlanner {
         while let Some(QueueEntry { cell, .. }) = self.open.pop() {
             expansions += 1;
             if expansions > self.config.max_iterations {
-                return None;
+                return false;
             }
             let point = self.point_of(cell, origin);
             if point.distance(goal) <= goal_tolerance && model.segment_free(point, goal, margin) {
-                return Some(self.reconstruct(cell, origin, start, goal));
+                self.reconstruct_into(cell, origin, start, goal, out);
+                return true;
             }
 
             let current_g = self.g_cost[&cell];
@@ -236,7 +263,7 @@ impl MotionPlanner for AStarPlanner {
                 }
             }
         }
-        None
+        false
     }
 }
 

@@ -13,6 +13,26 @@ pub(crate) struct TreeNode {
     pub(crate) parent: Option<usize>,
 }
 
+/// A tree node addressable by the shared path-tracing helpers: every
+/// RRT-family node type is a position plus an optional parent index
+/// (RRT* adds a cost, which tracing does not need).
+pub(crate) trait ParentLinked {
+    /// The node's position.
+    fn position(&self) -> Vec3;
+    /// Index of the parent node; `None` for the root.
+    fn parent(&self) -> Option<usize>;
+}
+
+impl ParentLinked for TreeNode {
+    fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+}
+
 /// Samples a point in the configuration-space bounds, with goal biasing.
 pub(crate) fn sample_point(rng: &mut StdRng, config: &PlannerConfig, goal: Vec3) -> Vec3 {
     if rng.gen_bool(config.goal_bias.clamp(0.0, 1.0)) {
@@ -52,15 +72,28 @@ pub(crate) fn steer(from: Vec3, to: Vec3, step: f64) -> Vec3 {
     }
 }
 
-/// Reconstructs the path from the root to `index`.
-pub(crate) fn trace_path(nodes: &[TreeNode], mut index: usize) -> Vec<Vec3> {
-    let mut reversed = vec![nodes[index].position];
-    while let Some(parent) = nodes[index].parent {
-        reversed.push(nodes[parent].position);
+/// Appends the `index`-to-root path to `out`, leaf first (the raw parent
+/// walk; RRT-Connect wants its goal-tree half exactly in this order).
+pub(crate) fn trace_leafward_into<N: ParentLinked>(
+    nodes: &[N],
+    mut index: usize,
+    out: &mut Vec<Vec3>,
+) {
+    out.push(nodes[index].position());
+    while let Some(parent) = nodes[index].parent() {
+        out.push(nodes[parent].position());
         index = parent;
     }
-    reversed.reverse();
-    reversed
+}
+
+/// Appends the root-to-`index` path to `out` (the in-place counterpart of
+/// the old allocating `trace_path`): positions are pushed leaf-to-root and
+/// the appended tail is then reversed, so the result is identical while the
+/// caller's buffer is reused.
+pub(crate) fn trace_path_into<N: ParentLinked>(nodes: &[N], index: usize, out: &mut Vec<Vec3>) {
+    let base = out.len();
+    trace_leafward_into(nodes, index, out);
+    out[base..].reverse();
 }
 
 /// The baseline RRT planner.
@@ -103,12 +136,26 @@ impl MotionPlanner for Rrt {
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        let mut out = PlannedPath::default();
+        self.plan_into(model, start, goal, &mut out).then_some(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        model: &dyn ObstacleModel,
+        start: Vec3,
+        goal: Vec3,
+        out: &mut PlannedPath,
+    ) -> bool {
+        out.waypoints.clear();
         if !model.point_free(goal, self.config.margin) {
-            return None;
+            return false;
         }
         // Direct connection shortcut.
         if model.segment_free(start, goal, self.config.margin) {
-            return Some(PlannedPath::new(vec![start, goal]));
+            out.waypoints.push(start);
+            out.waypoints.push(goal);
+            return true;
         }
 
         self.nodes.clear();
@@ -133,12 +180,12 @@ impl MotionPlanner for Rrt {
             if new_position.distance(goal) <= self.config.goal_tolerance
                 && model.segment_free(new_position, goal, self.config.margin)
             {
-                let mut waypoints = trace_path(&self.nodes, new_index);
-                waypoints.push(goal);
-                return Some(PlannedPath::new(waypoints));
+                trace_path_into(&self.nodes, new_index, &mut out.waypoints);
+                out.waypoints.push(goal);
+                return true;
             }
         }
-        None
+        false
     }
 }
 

@@ -5,7 +5,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::kernel::KernelId;
-use crate::planning::rrt::{nearest, sample_point, steer, trace_path, TreeNode};
+use crate::planning::rrt::{
+    nearest, sample_point, steer, trace_leafward_into, trace_path_into, TreeNode,
+};
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
 
 /// RRT-Connect: two trees grown from start and goal that greedily connect
@@ -92,11 +94,25 @@ impl MotionPlanner for RrtConnect {
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        let mut out = PlannedPath::default();
+        self.plan_into(model, start, goal, &mut out).then_some(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        model: &dyn ObstacleModel,
+        start: Vec3,
+        goal: Vec3,
+        out: &mut PlannedPath,
+    ) -> bool {
+        out.waypoints.clear();
         if !model.point_free(goal, self.config.margin) {
-            return None;
+            return false;
         }
         if model.segment_free(start, goal, self.config.margin) {
-            return Some(PlannedPath::new(vec![start, goal]));
+            out.waypoints.push(start);
+            out.waypoints.push(goal);
+            return true;
         }
 
         let config = self.config;
@@ -135,15 +151,16 @@ impl MotionPlanner for RrtConnect {
                 } else {
                     (&*start_tree, meet_index, &*goal_tree, extended)
                 };
-                let mut waypoints = trace_path(start_nodes, start_index);
-                let mut tail = trace_path(goal_nodes, goal_index);
-                tail.reverse();
-                waypoints.extend(tail);
-                return Some(PlannedPath::new(waypoints));
+                trace_path_into(start_nodes, start_index, &mut out.waypoints);
+                // The goal-tree half is wanted meeting-point-first, which is
+                // exactly the leaf-to-root walk order, so it appends without
+                // the reverse step the allocating path needed.
+                trace_leafward_into(goal_nodes, goal_index, &mut out.waypoints);
+                return true;
             }
             start_is_a = !start_is_a;
         }
-        None
+        false
     }
 }
 

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::kernel::KernelId;
-use crate::planning::rrt::{sample_point, steer};
+use crate::planning::rrt::{sample_point, steer, trace_path_into, ParentLinked};
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -13,6 +13,16 @@ struct StarNode {
     position: Vec3,
     parent: Option<usize>,
     cost: f64,
+}
+
+impl ParentLinked for StarNode {
+    fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    fn parent(&self) -> Option<usize> {
+        self.parent
+    }
 }
 
 /// RRT*: the default motion planner of the paper's PPC pipeline.
@@ -54,16 +64,6 @@ impl RrtStar {
     pub fn config(&self) -> PlannerConfig {
         self.config
     }
-
-    fn trace(nodes: &[StarNode], mut index: usize) -> Vec<Vec3> {
-        let mut reversed = vec![nodes[index].position];
-        while let Some(parent) = nodes[index].parent {
-            reversed.push(nodes[parent].position);
-            index = parent;
-        }
-        reversed.reverse();
-        reversed
-    }
 }
 
 impl MotionPlanner for RrtStar {
@@ -72,11 +72,25 @@ impl MotionPlanner for RrtStar {
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
+        let mut out = PlannedPath::default();
+        self.plan_into(model, start, goal, &mut out).then_some(out)
+    }
+
+    fn plan_into(
+        &mut self,
+        model: &dyn ObstacleModel,
+        start: Vec3,
+        goal: Vec3,
+        out: &mut PlannedPath,
+    ) -> bool {
+        out.waypoints.clear();
         if !model.point_free(goal, self.config.margin) {
-            return None;
+            return false;
         }
         if model.segment_free(start, goal, self.config.margin) {
-            return Some(PlannedPath::new(vec![start, goal]));
+            out.waypoints.push(start);
+            out.waypoints.push(goal);
+            return true;
         }
 
         self.nodes.clear();
@@ -161,11 +175,14 @@ impl MotionPlanner for RrtStar {
             }
         }
 
-        best_goal.map(|(index, _)| {
-            let mut waypoints = Self::trace(nodes, index);
-            waypoints.push(goal);
-            PlannedPath::new(waypoints)
-        })
+        match best_goal {
+            Some((index, _)) => {
+                trace_path_into(nodes, index, &mut out.waypoints);
+                out.waypoints.push(goal);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Runs the tick-path performance benches in a fixed, offline, single-core
-# friendly configuration and appends timestamped entries to BENCH_4.json at
+# friendly configuration and appends timestamped entries to the bench log at
 # the repository root.
 #
-# Usage: ./scripts/bench.sh [note]
+# Usage: ./scripts/bench.sh [note] [outfile]
 #
-#   note   free-form tag attached to every recorded entry (defaults to the
-#          current git revision), e.g. ./scripts/bench.sh post-refactor
+#   note     free-form tag attached to every recorded entry (defaults to the
+#            current git revision), e.g. ./scripts/bench.sh post-refactor
+#   outfile  bench log to append to (defaults to $MAVFI_BENCH_LOG if set,
+#            otherwise BENCH_5.json), e.g.
+#            ./scripts/bench.sh post-refactor BENCH_6.json
 #
-# The script runs the three instrumented bench targets in quick mode:
+# The script runs the four instrumented bench targets in quick mode:
 #   - fig3_kernel_sensitivity  -> ticks/sec + ns/tick of the golden closed loop
 #   - detector_micro           -> ns/score of the AAD reconstruction error
+#   - replan_micro             -> ns/replan per planner + forced-replan ticks/sec
 #   - table2_overhead          -> ticks/sec of an AAD-protected mission
 # Full campaigns (paper tables/figures) are skipped; drop MAVFI_BENCH_QUICK
 # below to include them.
@@ -18,18 +22,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NOTE="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo untagged)}"
+LOG="${2:-${MAVFI_BENCH_LOG:-BENCH_5.json}}"
+# The bench harness resolves a relative MAVFI_BENCH_LOG against *its* working
+# directory (crates/bench); anchor the log to the repository root instead.
+case "$LOG" in
+  /*) ;;
+  *) LOG="$PWD/$LOG" ;;
+esac
 
 export MAVFI_BENCH_QUICK=1
 export MAVFI_BENCH_NOTE="$NOTE"
+export MAVFI_BENCH_LOG="$LOG"
 # Fixed fan-out so numbers are comparable across machines and runs.
 export MAVFI_WORKERS=1
 export MAVFI_RUNS=1
 
-echo "==> bench.sh note='$NOTE' (quick mode, 1 worker)"
+echo "==> bench.sh note='$NOTE' log='$LOG' (quick mode, 1 worker)"
 cargo bench -q --offline -p mavfi-bench --bench fig3_kernel_sensitivity
 cargo bench -q --offline -p mavfi-bench --bench detector_micro
+cargo bench -q --offline -p mavfi-bench --bench replan_micro
 cargo bench -q --offline -p mavfi-bench --bench table2_overhead
 
-LOG="${MAVFI_BENCH_LOG:-BENCH_4.json}"
 echo "==> appended entries to $LOG:"
 tail -n 40 "$LOG"

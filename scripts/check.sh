@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# The full local lint gate: formatting, clippy (warnings are errors) and
-# rustdoc (warnings are errors, including broken intra-doc links).
+# The full local lint gate: formatting, clippy (warnings are errors),
+# rustdoc (warnings are errors, including broken intra-doc links — the
+# `docs/` markdown pages are included into the `mavfi-suite` crate docs, so
+# the same gate covers them) and a relative-link existence check over the
+# repository's markdown documentation.
 #
 # Usage: ./scripts/check.sh
 #
@@ -16,7 +19,28 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps"
+echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps (includes docs/*.md)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "==> markdown relative links resolve (README.md, docs/, CHANGES.md)"
+broken=0
+for file in README.md CHANGES.md docs/*.md; do
+  dir=$(dirname "$file")
+  # Extract relative markdown link targets: [text](target), skipping
+  # absolute URLs and in-page anchors.
+  while IFS= read -r target; do
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "  broken link in $file: $target"
+      broken=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//' \
+             | grep -vE '^(https?|mailto):' || true)
+done
+if [ "$broken" -ne 0 ]; then
+  echo "Broken documentation links found."
+  exit 1
+fi
 
 echo "All checks passed."

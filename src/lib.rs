@@ -9,6 +9,30 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+/// Rendered copies of the repository's `docs/` pages.
+///
+/// Including them here puts every page through the rustdoc lint gate
+/// (`scripts/check.sh` builds docs with `RUSTDOCFLAGS="-D warnings"`), so
+/// broken intra-doc references, malformed markdown and untagged code fences
+/// in `docs/` fail the build exactly like those in source comments; the
+/// pages' Rust code blocks, if any, compile as doctests like the README's.
+#[doc(hidden)]
+pub mod docs {
+    /// `docs/ARCHITECTURE.md`: closed-loop data flow and engine design.
+    #[doc = include_str!("../docs/ARCHITECTURE.md")]
+    pub mod architecture {}
+
+    /// `docs/PLANNERS.md`: the four motion planners and the
+    /// `plan`/`plan_into` contract.
+    #[doc = include_str!("../docs/PLANNERS.md")]
+    pub mod planners {}
+
+    /// `docs/PERFORMANCE.md`: scratch-buffer conventions, the replan path
+    /// and the revision-cache invariants.
+    #[doc = include_str!("../docs/PERFORMANCE.md")]
+    pub mod performance {}
+}
+
 pub use mavfi;
 pub use mavfi_detect;
 pub use mavfi_fault;

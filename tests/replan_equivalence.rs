@@ -1,0 +1,84 @@
+//! Golden-run equivalence regression for the revision-tracked collision
+//! cache and the `plan_into` replan path.
+//!
+//! `PpcPipeline` now replans through `MotionPlanner::plan_into` and screens
+//! collisions through `CollisionChecker::run_cached`.  Both must be
+//! *bit-identical* to the allocating/uncached kernels: a mission flown with
+//! the cache disabled (every tick re-marches the velocity ray and the
+//! future-way-point list, exactly like the pre-refactor code) produces
+//! exactly the same outcome as `MissionRunner`'s default loop, across seeds
+//! and environments — and under fault injection with recovery, which is
+//! where replans and recomputations concentrate.
+
+use mavfi::prelude::*;
+use mavfi::qof::QofMetrics;
+use mavfi_fault::injector::FaultInjector;
+use mavfi_ppc::pipeline::PpcPipeline;
+use mavfi_ppc::states::Stage;
+use mavfi_ppc::tap::NoopTap;
+
+/// Flies `spec` with the collision-check revision cache disabled, mirroring
+/// `MissionRunner`'s loop (same capture scratch discipline, so the *only*
+/// difference to the default path is uncached collision checking).
+fn fly_uncached(spec: MissionSpec, mut injector: Option<FaultInjector>) -> (QofMetrics, Vec<Vec3>) {
+    let environment = spec.environment.build(spec.seed);
+    let ppc_config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
+    let mut pipeline = PpcPipeline::new(ppc_config, environment.start(), environment.goal());
+    pipeline.set_collision_cache_enabled(false);
+    let camera = DepthCamera::default();
+    let mut world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+    let dt = spec.control_period;
+    let mut frame = DepthFrame::default();
+    let mut scratch = CaptureScratch::new();
+    while world.status() == MissionStatus::InProgress {
+        camera.capture_into(world.environment(), &world.vehicle().pose(), &mut scratch, &mut frame);
+        let tick = match injector.as_mut() {
+            Some(injector) => pipeline.tick(&frame, &world.vehicle().state(), dt, injector),
+            None => pipeline.tick(&frame, &world.vehicle().state(), dt, &mut NoopTap),
+        };
+        world.step(&tick.command, dt);
+    }
+    let qof = QofMetrics {
+        status: world.status(),
+        flight_time_s: world.elapsed(),
+        energy_j: world.energy_joules(),
+        distance_m: world.distance_travelled(),
+    };
+    (qof, world.trail().to_vec())
+}
+
+#[test]
+fn cached_golden_runs_are_bit_identical_to_uncached_runs() {
+    // 3 seeds × 2 environments, as the acceptance criteria demand.
+    for environment in [EnvironmentKind::Sparse, EnvironmentKind::Farm] {
+        for seed in [3_u64, 8, 21] {
+            let spec = MissionSpec::new(environment, seed).with_time_budget(150.0);
+            let (qof, trail) = fly_uncached(spec, None);
+            let outcome = MissionRunner::new(spec).run_golden();
+            assert_eq!(
+                qof, outcome.qof,
+                "qof diverged for {environment:?} seed {seed} (uncached vs revision-cached)"
+            );
+            assert_eq!(
+                trail, outcome.trail,
+                "trail diverged for {environment:?} seed {seed} (uncached vs revision-cached)"
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_fault_injected_runs_are_bit_identical_to_uncached_runs() {
+    // Fault-injected missions exercise the paths where the cache matters
+    // most: tap-corrupted estimates, occupancy flips (grid revision bumps)
+    // and trajectory corruption (shadow-compare revision bumps).
+    for stage in Stage::ALL {
+        let spec = MissionSpec::new(EnvironmentKind::Sparse, 5).with_time_budget(150.0);
+        let fault = FaultSpec::new(InjectionTarget::Stage(stage), 25, 11);
+        let (qof, trail) = fly_uncached(spec, Some(FaultInjector::new(fault)));
+        let outcome =
+            MissionRunner::new(spec).run(Some(fault), Protection::None, None).expect("unprotected");
+        assert_eq!(qof, outcome.qof, "qof diverged for fault in {stage:?}");
+        assert_eq!(trail, outcome.trail, "trail diverged for fault in {stage:?}");
+    }
+}

@@ -17,8 +17,8 @@ use mavfi_detect::prelude::*;
 use mavfi_nn::train::TrainConfig;
 use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline};
 use mavfi_ppc::planning::PlannerAlgorithm;
-use mavfi_ppc::states::{MonitoredStates, StateField};
-use mavfi_ppc::tap::NoopTap;
+use mavfi_ppc::states::{MonitoredStates, StateField, Trajectory};
+use mavfi_ppc::tap::{NoopTap, StageTap, TapAction};
 use mavfi_sim::env::{Environment, Obstacle};
 use mavfi_sim::geometry::{Aabb, Pose, Vec3};
 use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
@@ -206,6 +206,82 @@ fn steady_state_tick_with_noop_tap_allocates_nothing() {
     assert_eq!(
         steady, 0,
         "steady-state capture+tick must not allocate (200 ticks allocated {steady} times)"
+    );
+}
+
+/// A tap that requests a planning-stage recomputation on every tick — the
+/// recovery feedback the detector issues after a detected planning fault
+/// (the paper's 83 ms re-plan path), distilled to its deterministic core.
+struct ReplanEveryTick;
+
+impl StageTap for ReplanEveryTick {
+    fn after_planning(&mut self, _trajectory: &mut Trajectory, _active_index: usize) -> TapAction {
+        TapAction::Recompute
+    }
+}
+
+/// A world whose start → goal line is blocked by a wall, so every replan is
+/// a real search (not the two-way-point line-of-sight shortcut).
+fn walled_environment() -> Environment {
+    Environment::new(
+        "zero-alloc-replan",
+        Aabb::new(Vec3::new(-10.0, -20.0, 0.0), Vec3::new(40.0, 20.0, 10.0)),
+        vec![Obstacle::from_center(Vec3::new(12.0, 0.0, 2.0), Vec3::new(4.0, 12.0, 6.0))],
+        Vec3::new(0.0, 0.0, 2.0),
+        Vec3::new(30.0, 0.0, 2.0),
+    )
+}
+
+/// The tentpole property of the `plan_into` refactor: a fault-triggered
+/// replan — planner search, path smoothing, trajectory resampling, tracker
+/// and PID resets — performs **zero heap allocations** once warm.
+///
+/// The pipeline uses the deterministic A* planner so every replan from the
+/// stationary pose repeats the identical search: the warm-up provably grows
+/// the pooled open list, bookkeeping maps and path buffers to the high-water
+/// mark of the measured window (a sampling-based planner's tree size varies
+/// per replan, which would make a strict zero assertion racy).
+#[test]
+fn fault_triggered_replan_allocates_nothing() {
+    let env = walled_environment();
+    let config = PpcConfig::new(PlannerAlgorithm::AStar, env.bounds(), 3);
+    let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+    let camera = DepthCamera::default();
+
+    let _measuring = start_measuring();
+    let mut scratch = CaptureScratch::new();
+    let mut frame = DepthFrame::default();
+    let warmup = allocations_over_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut ReplanEveryTick,
+        &mut scratch,
+        &mut frame,
+        20,
+    );
+    assert!(warmup > 0, "warm-up is expected to allocate while buffers grow");
+
+    let replans_before = pipeline.stats().replans;
+    let steady = allocations_over_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut ReplanEveryTick,
+        &mut scratch,
+        &mut frame,
+        200,
+    );
+    let replans = pipeline.stats().replans - replans_before;
+    assert!(replans >= 200, "every tick must have replanned (got {replans})");
+    assert_eq!(
+        steady, 0,
+        "{replans} fault-triggered replans must not allocate (allocated {steady} times)"
+    );
+    // The searches were real detours, not line-of-sight shortcuts.
+    assert!(
+        pipeline.trajectory().path_length() > env.start().distance(env.goal()),
+        "the wall must force a detour"
     );
 }
 
