@@ -13,7 +13,7 @@ use mavfi_bench::{bench_log, print_campaign_experiment, runs_per_target};
 
 /// Measures steady-state closed-loop throughput (pipeline ticks per second
 /// of wall time) over golden missions in the Sparse environment, and logs it
-/// to `BENCH_4.json` so the tick-path performance trajectory is tracked
+/// to the bench log so the tick-path performance trajectory is tracked
 /// across PRs.
 fn measure_tick_throughput() {
     let specs: Vec<MissionSpec> = (0..3)
@@ -44,6 +44,28 @@ fn measure_tick_throughput() {
     );
 }
 
+/// Flies one instrumented golden mission and logs each kernel's p99
+/// wall-clock latency, so per-kernel latency trends are tracked alongside
+/// whole-tick throughput.
+fn measure_kernel_latency_p99() {
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 3).with_time_budget(200.0);
+    let mut sink = MissionTelemetry::new();
+    let _ = MissionRunner::new(spec).run_golden_instrumented(&mut sink);
+    for kernel in KernelId::ALL {
+        let histogram = sink.kernel_latency(kernel);
+        if histogram.count() == 0 {
+            continue;
+        }
+        bench_log::record(
+            "fig3_kernel_sensitivity",
+            &format!("{kernel:?}_p99"),
+            histogram.p99() as f64,
+            "ns",
+            &bench_log::note_or("golden Sparse seed 3, instrumented"),
+        );
+    }
+}
+
 fn run_experiment() {
     let runs = runs_per_target(3);
     let config = Fig3Config {
@@ -65,6 +87,7 @@ fn run_experiment() {
 
 fn bench(c: &mut Criterion) {
     measure_tick_throughput();
+    measure_kernel_latency_p99();
     // MAVFI_BENCH_QUICK=1 records the tick-throughput metrics and skips the
     // full fault-sensitivity campaign (used by scripts/bench.sh).
     if std::env::var("MAVFI_BENCH_QUICK").is_ok() {

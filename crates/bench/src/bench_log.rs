@@ -2,13 +2,18 @@
 //!
 //! Every simulation-backed bench can [`record`] named scalar metrics
 //! (ticks/sec, ns/score, …).  Records accumulate as a JSON array in
-//! `BENCH_5.json` at the repository root (override the path with the
+//! `BENCH_6.json` at the repository root (override the path with the
 //! `MAVFI_BENCH_LOG` environment variable, or pass an output file to
 //! `scripts/bench.sh`), so the performance trajectory of the hot tick path
 //! is tracked across PRs: each entry carries a Unix timestamp, the bench
 //! name, the metric name, the value and its unit, plus a free-form note
 //! (used to tag pre-/post-refactor measurements).  Earlier PRs' logs
-//! (`BENCH_4.json`, …) stay in the repository as the historical record.
+//! (`BENCH_5.json`, `BENCH_4.json`, …) stay in the repository as the
+//! historical record.
+//!
+//! A log that exists but no longer parses as a JSON array is set aside as
+//! `<name>.corrupt` (best effort) before a fresh log is started, so bad data
+//! is preserved for inspection instead of silently overwritten.
 
 use std::path::PathBuf;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -16,30 +21,58 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use serde::Value;
 
 /// Resolves the log path: `MAVFI_BENCH_LOG` if set, otherwise
-/// `BENCH_5.json` in the workspace root.
+/// `BENCH_6.json` in the workspace root.
 pub fn log_path() -> PathBuf {
     if let Ok(path) = std::env::var("MAVFI_BENCH_LOG") {
         return PathBuf::from(path);
     }
     // CARGO_MANIFEST_DIR is crates/bench; the log lives two levels up.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+}
+
+/// Loads the existing log entries, or sets an unparseable log aside as
+/// `<name>.corrupt` and starts fresh.
+fn load_entries(path: &std::path::Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match serde_json::from_str::<Value>(&text)
+        .ok()
+        .and_then(|value| value.as_seq().map(<[Value]>::to_vec))
+    {
+        Some(entries) => entries,
+        None => {
+            // Preserve the bad data for inspection rather than silently
+            // overwriting it; renaming is best effort.
+            let mut corrupt = path.as_os_str().to_owned();
+            corrupt.push(".corrupt");
+            match std::fs::rename(path, &corrupt) {
+                Ok(()) => eprintln!(
+                    "[bench-log] {} was not a JSON array; moved to {}",
+                    path.display(),
+                    PathBuf::from(&corrupt).display()
+                ),
+                Err(error) => eprintln!(
+                    "[bench-log] {} was not a JSON array and could not be set aside: {error}",
+                    path.display()
+                ),
+            }
+            Vec::new()
+        }
+    }
 }
 
 /// Appends one metric record to the bench log and echoes it to stdout.
 ///
-/// Failures to read or parse an existing log are not fatal: the log is
-/// restarted rather than aborting the bench run (the measurement still
-/// reaches stdout).
+/// Failures to read or parse an existing log are not fatal: the unreadable
+/// log is renamed to `<name>.corrupt` and a fresh log is started (the
+/// measurement still reaches stdout).
 pub fn record(bench: &str, metric: &str, value: f64, unit: &str, note: &str) {
     let timestamp = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
     println!("[bench-log] {bench}/{metric} = {value:.3} {unit} ({note})");
 
     let path = log_path();
-    let mut entries: Vec<Value> = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
-        .and_then(|value| value.as_seq().map(<[Value]>::to_vec))
-        .unwrap_or_default();
+    let mut entries: Vec<Value> = load_entries(&path);
     entries.push(Value::Map(vec![
         ("timestamp".to_owned(), Value::UInt(timestamp)),
         ("bench".to_owned(), Value::Str(bench.to_owned())),
@@ -64,9 +97,14 @@ pub fn note_or(default: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// `MAVFI_BENCH_LOG` is process-global; serialise the tests that set it.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn records_append_to_the_configured_log() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("mavfi_bench_log_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("log.json");
@@ -84,5 +122,28 @@ mod tests {
         assert!(first.iter().any(|(k, v)| k == "metric" && v.as_str() == Some("metric_a")));
         assert!(first.iter().any(|(k, v)| k == "value" && v.as_f64() == Some(1.5)));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_logs_are_set_aside_not_overwritten() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("mavfi_bench_log_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        let corrupt = dir.join("log.json.corrupt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
+        std::fs::write(&path, "not json at all {{{").unwrap();
+
+        std::env::set_var("MAVFI_BENCH_LOG", &path);
+        record("unit_test", "metric_c", 3.5, "ns", "after corruption");
+        std::env::remove_var("MAVFI_BENCH_LOG");
+
+        // The bad data was preserved, and a fresh log holds the new record.
+        assert_eq!(std::fs::read_to_string(&corrupt).unwrap(), "not json at all {{{");
+        let parsed: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.as_seq().unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&corrupt);
     }
 }

@@ -16,6 +16,7 @@ use mavfi_fault::campaign::CampaignPlan;
 use mavfi_fault::injector::FaultSpec;
 use mavfi_ppc::states::Stage;
 use mavfi_sim::env::EnvironmentKind;
+use mavfi_telemetry::{MissionReport, MissionTelemetry, TelemetryReport};
 
 use crate::campaign::{CampaignConfig, EnvironmentCampaign, SettingResult};
 use crate::config::{MissionSpec, Protection, TrainingSpec};
@@ -141,9 +142,11 @@ enum CampaignJob {
 }
 
 /// What one campaign job produced (trimmed to what aggregation needs).
+/// `reports` carries the job's mission telemetry (one report per mission,
+/// in mission order) and stays empty on uninstrumented runs.
 enum JobOutcome {
-    Golden { qof: QofMetrics, ticks: u64, compute_ms: f64 },
-    Fault(Box<FaultSettingOutcomes>),
+    Golden { qof: QofMetrics, ticks: u64, compute_ms: f64, reports: Vec<MissionReport> },
+    Fault(Box<FaultSettingOutcomes>, Vec<MissionReport>),
 }
 
 /// Streaming aggregate of a campaign; folded in run-index order, so every
@@ -176,12 +179,12 @@ impl CampaignAggregate {
 
     fn fold(&mut self, outcome: JobOutcome) {
         match outcome {
-            JobOutcome::Golden { qof, ticks, compute_ms } => {
+            JobOutcome::Golden { qof, ticks, compute_ms, .. } => {
                 self.golden_ticks += ticks;
                 self.golden_compute_ms += compute_ms;
                 self.golden_runs.push(qof);
             }
-            JobOutcome::Fault(outcomes) => {
+            JobOutcome::Fault(outcomes, _) => {
                 self.injected_runs.push(outcomes.injected);
                 accumulate_recomputations(&outcomes.gaussian, &mut self.gaussian_recomputations);
                 self.gaussian_runs.push(outcomes.gaussian.qof);
@@ -213,7 +216,7 @@ impl CampaignAggregate {
 fn accumulate_recomputations(outcome: &MissionOutcome, totals: &mut [(Stage, u64)]) {
     if let Some(stats) = &outcome.detector {
         for (stage, total) in totals.iter_mut() {
-            *total += stats.recomputations.get(stage).copied().unwrap_or(0);
+            *total += stats.recomputations_of(*stage);
         }
     }
 }
@@ -294,6 +297,40 @@ impl CampaignExecutor {
         config: &CampaignConfig,
         scheme: &SchemeConfig,
     ) -> Result<EnvironmentCampaign, MavfiError> {
+        Ok(self.run_campaign_impl(config, scheme, false)?.0)
+    }
+
+    /// [`run_campaign`](Self::run_campaign) with mission telemetry: every
+    /// mission flies with a [`MissionTelemetry`] sink attached (wall-clock
+    /// kernel timing on) and the per-mission reports are merged — in
+    /// deterministic run order — into one campaign-wide
+    /// [`TelemetryReport`].
+    ///
+    /// The campaign results are bit-identical to the uninstrumented path
+    /// for any worker count: telemetry only reads.  Within the report, the
+    /// deterministic half (counters, latencies in ticks, timeline digest)
+    /// is reproducible too; only the `wall_clock` section varies between
+    /// machines and runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner errors exactly like
+    /// [`run_campaign`](Self::run_campaign).
+    pub fn run_campaign_instrumented(
+        &self,
+        config: &CampaignConfig,
+        scheme: &SchemeConfig,
+    ) -> Result<(EnvironmentCampaign, TelemetryReport), MavfiError> {
+        let (campaign, report) = self.run_campaign_impl(config, scheme, true)?;
+        Ok((campaign, report.unwrap_or_default()))
+    }
+
+    fn run_campaign_impl(
+        &self,
+        config: &CampaignConfig,
+        scheme: &SchemeConfig,
+        instrument: bool,
+    ) -> Result<(EnvironmentCampaign, Option<TelemetryReport>), MavfiError> {
         let detectors = scheme.detectors();
 
         // One unified run list: golden runs first, then every planned
@@ -309,43 +346,96 @@ impl CampaignExecutor {
                 .map(|(index, fault)| CampaignJob::Fault(index, fault)),
         );
 
+        // Instrumented missions: a fresh sink per mission (constructing it
+        // preallocates the telemetry buffers; the mission itself then runs
+        // allocation-free), reduced to a report as soon as the mission
+        // lands.
+        let run_golden = |runner: &MissionRunner| -> (MissionOutcome, Option<MissionReport>) {
+            if instrument {
+                let mut sink = MissionTelemetry::new();
+                let outcome = runner.run_golden_instrumented(&mut sink);
+                let report = sink.into_report(&outcome.pipeline);
+                (outcome, Some(report))
+            } else {
+                (runner.run_golden(), None)
+            }
+        };
+        let run_setting = |runner: &MissionRunner,
+                           fault: FaultSpec,
+                           protection: Protection|
+         -> Result<(MissionOutcome, Option<MissionReport>), MavfiError> {
+            let trained =
+                if protection == Protection::None { None } else { Some(detectors.as_ref()) };
+            if instrument {
+                let mut sink = MissionTelemetry::new();
+                let outcome =
+                    runner.run_instrumented(Some(fault), protection, trained, &mut sink)?;
+                let report = sink.into_report(&outcome.pipeline);
+                Ok((outcome, Some(report)))
+            } else {
+                Ok((runner.run(Some(fault), protection, trained)?, None))
+            }
+        };
+
         let mut aggregate = CampaignAggregate::new(config);
-        self.pool.try_fold_ordered(
+        let mut telemetry = if instrument { Some(TelemetryReport::new()) } else { None };
+        let mut state = (&mut aggregate, &mut telemetry);
+        let pool_stats = self.pool.try_fold_ordered_with_stats(
             &jobs,
             |_, job| -> Result<JobOutcome, MavfiError> {
                 match job {
                     CampaignJob::Golden(index) => {
                         let spec = Self::mission_spec(config, *index);
-                        let outcome = MissionRunner::new(spec).run_golden();
+                        let (outcome, report) = run_golden(&MissionRunner::new(spec));
                         Ok(JobOutcome::Golden {
                             qof: outcome.qof,
                             ticks: outcome.pipeline.ticks,
                             compute_ms: outcome.pipeline.total_compute_ms(),
+                            reports: report.into_iter().collect(),
                         })
                     }
                     CampaignJob::Fault(index, fault) => {
                         let spec = Self::mission_spec(config, *index as u64);
                         let runner = MissionRunner::new(spec);
-                        Ok(JobOutcome::Fault(Box::new(FaultSettingOutcomes {
-                            injected: runner.run(Some(*fault), Protection::None, None)?.qof,
-                            gaussian: runner.run(
-                                Some(*fault),
-                                Protection::Gaussian,
-                                Some(&detectors),
-                            )?,
-                            autoencoder: runner.run(
-                                Some(*fault),
-                                Protection::Autoencoder,
-                                Some(&detectors),
-                            )?,
-                        })))
+                        let (injected, injected_report) =
+                            run_setting(&runner, *fault, Protection::None)?;
+                        let (gaussian, gaussian_report) =
+                            run_setting(&runner, *fault, Protection::Gaussian)?;
+                        let (autoencoder, autoencoder_report) =
+                            run_setting(&runner, *fault, Protection::Autoencoder)?;
+                        Ok(JobOutcome::Fault(
+                            Box::new(FaultSettingOutcomes {
+                                injected: injected.qof,
+                                gaussian,
+                                autoencoder,
+                            }),
+                            [injected_report, gaussian_report, autoencoder_report]
+                                .into_iter()
+                                .flatten()
+                                .collect(),
+                        ))
                     }
                 }
             },
-            &mut aggregate,
-            |aggregate, _, outcome| aggregate.fold(outcome),
+            &mut state,
+            |(aggregate, telemetry), _, outcome| {
+                if let Some(rollup) = telemetry.as_mut() {
+                    let reports = match &outcome {
+                        JobOutcome::Golden { reports, .. } => reports,
+                        JobOutcome::Fault(_, reports) => reports,
+                    };
+                    for report in reports {
+                        rollup.merge_mission(report);
+                    }
+                }
+                aggregate.fold(outcome);
+            },
         )?;
-        Ok(aggregate.finish(config))
+        if let Some(rollup) = telemetry.as_mut() {
+            rollup.wall_clock.worker_jobs = pool_stats.worker_jobs;
+            rollup.wall_clock.fold_stalls += pool_stats.fold_stalls;
+        }
+        Ok((aggregate.finish(config), telemetry))
     }
 
     /// Runs an injection-only sweep (golden baseline plus unprotected
@@ -435,6 +525,21 @@ pub fn run_campaign(
     workers: usize,
 ) -> Result<EnvironmentCampaign, MavfiError> {
     CampaignExecutor::new(workers).run_campaign(config, scheme)
+}
+
+/// [`run_campaign`] with mission telemetry: also returns the campaign-wide
+/// [`TelemetryReport`] merged in deterministic run order.  The campaign
+/// results are bit-identical to [`run_campaign`] for any worker count.
+///
+/// # Errors
+///
+/// Propagates runner errors, lowest run index first.
+pub fn run_campaign_instrumented(
+    config: &CampaignConfig,
+    scheme: &SchemeConfig,
+    workers: usize,
+) -> Result<(EnvironmentCampaign, TelemetryReport), MavfiError> {
+    CampaignExecutor::new(workers).run_campaign_instrumented(config, scheme)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ mod pool;
 
 pub use cache::{CacheStats, TrainedDetectorCache};
 pub use engine::{
-    run_campaign, CampaignExecutor, DetectorSource, InjectionSweep, SchemeConfig, SweepOutcome,
+    run_campaign, run_campaign_instrumented, CampaignExecutor, DetectorSource, InjectionSweep,
+    SchemeConfig, SweepOutcome,
 };
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};

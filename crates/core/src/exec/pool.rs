@@ -24,7 +24,7 @@
 //! campaign in memory.
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -51,6 +51,30 @@ const CLAIM_WINDOW_MIN: usize = 64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerPool {
     workers: usize,
+}
+
+/// Scheduling statistics of one pool execution: observability data for the
+/// campaign telemetry rollup.
+///
+/// Everything here is **scheduling-dependent** (which worker claims which
+/// job, how often the claim window stalls) and therefore nondeterministic —
+/// it belongs in the wall-clock section of a telemetry report, never in
+/// results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed per worker, indexed by worker id.  A single entry for
+    /// serial/inline execution.
+    pub worker_jobs: Vec<u64>,
+    /// Claim-window backpressure naps taken across all workers (each nap is
+    /// one bounded sleep while waiting for the fold position to advance).
+    pub fold_stalls: u64,
+}
+
+impl PoolStats {
+    /// Total jobs executed across workers.
+    pub fn total_jobs(&self) -> u64 {
+        self.worker_jobs.iter().sum()
+    }
 }
 
 impl Default for WorkerPool {
@@ -179,7 +203,51 @@ impl WorkerPool {
         jobs: &[T],
         job: F,
         state: &mut S,
+        fold: G,
+    ) -> Result<(), E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        self.try_fold_ordered_impl(jobs, job, state, fold, None)
+    }
+
+    /// [`try_fold_ordered`](Self::try_fold_ordered) that additionally
+    /// reports scheduling statistics ([`PoolStats`]) for telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing job, exactly like
+    /// [`try_fold_ordered`](Self::try_fold_ordered).
+    pub fn try_fold_ordered_with_stats<T, R, E, S, F, G>(
+        &self,
+        jobs: &[T],
+        job: F,
+        state: &mut S,
+        fold: G,
+    ) -> Result<PoolStats, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        let mut stats = PoolStats::default();
+        self.try_fold_ordered_impl(jobs, job, state, fold, Some(&mut stats))?;
+        Ok(stats)
+    }
+
+    fn try_fold_ordered_impl<T, R, E, S, F, G>(
+        &self,
+        jobs: &[T],
+        job: F,
+        state: &mut S,
         mut fold: G,
+        stats: Option<&mut PoolStats>,
     ) -> Result<(), E>
     where
         T: Sync,
@@ -190,7 +258,7 @@ impl WorkerPool {
     {
         let lowest_failure = AtomicUsize::new(usize::MAX);
         let mut combined = (state, None::<E>);
-        self.fold_ordered(
+        self.fold_ordered_impl(
             jobs,
             |index, item| {
                 // Skip only indices *above* a recorded failure: a job below
@@ -211,6 +279,7 @@ impl WorkerPool {
                 Some(Err(e)) if error.is_none() => *error = Some(e),
                 _ => {}
             },
+            stats,
         );
         match combined.1 {
             Some(error) => Err(error),
@@ -238,8 +307,44 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Propagates a panic from any job after all workers have stopped.
-    pub fn fold_ordered<T, R, S, F, G>(&self, jobs: &[T], job: F, state: &mut S, mut fold: G)
+    pub fn fold_ordered<T, R, S, F, G>(&self, jobs: &[T], job: F, state: &mut S, fold: G)
     where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        self.fold_ordered_impl(jobs, job, state, fold, None);
+    }
+
+    /// [`fold_ordered`](Self::fold_ordered) that additionally reports
+    /// scheduling statistics ([`PoolStats`]) for telemetry.
+    pub fn fold_ordered_with_stats<T, R, S, F, G>(
+        &self,
+        jobs: &[T],
+        job: F,
+        state: &mut S,
+        fold: G,
+    ) -> PoolStats
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        G: FnMut(&mut S, usize, R),
+    {
+        let mut stats = PoolStats::default();
+        self.fold_ordered_impl(jobs, job, state, fold, Some(&mut stats));
+        stats
+    }
+
+    fn fold_ordered_impl<T, R, S, F, G>(
+        &self,
+        jobs: &[T],
+        job: F,
+        state: &mut S,
+        mut fold: G,
+        stats: Option<&mut PoolStats>,
+    ) where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
@@ -250,6 +355,10 @@ impl WorkerPool {
             for (index, item) in jobs.iter().enumerate() {
                 fold(state, index, job(index, item));
             }
+            if let Some(stats) = stats {
+                stats.worker_jobs = vec![jobs.len() as u64];
+                stats.fold_stalls = 0;
+            }
             return;
         }
 
@@ -257,16 +366,23 @@ impl WorkerPool {
         let folded = AtomicUsize::new(0);
         let aborted = AtomicBool::new(false);
         let window = (workers * CLAIM_WINDOW_PER_WORKER).max(CLAIM_WINDOW_MIN);
+        // Per-worker job tallies and the shared stall counter cost a few
+        // relaxed increments per job — cheap enough to collect
+        // unconditionally and only read back when stats were requested.
+        let job_counts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let stall_count = AtomicU64::new(0);
         let (sender, receiver) = mpsc::channel::<Pending<R>>();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let sender = sender.clone();
                     scope.spawn({
                         let next_job = &next_job;
                         let folded = &folded;
                         let aborted = &aborted;
                         let job = &job;
+                        let job_counts = &job_counts;
+                        let stall_count = &stall_count;
                         move || {
                             // If this worker unwinds mid-job, its result never
                             // reaches the aggregator and the fold position
@@ -299,8 +415,10 @@ impl WorkerPool {
                                     if aborted.load(Ordering::Acquire) {
                                         return;
                                     }
+                                    stall_count.fetch_add(1, Ordering::Relaxed);
                                     std::thread::sleep(Duration::from_micros(200));
                                 }
+                                job_counts[worker].fetch_add(1, Ordering::Relaxed);
                                 // A send only fails when the aggregator side was
                                 // torn down early, which scoped lifetimes rule
                                 // out short of a panic already in flight.
@@ -335,6 +453,11 @@ impl WorkerPool {
                 }
             }
         });
+        if let Some(stats) = stats {
+            stats.worker_jobs =
+                job_counts.iter().map(|count| count.load(Ordering::Relaxed)).collect();
+            stats.fold_stalls = stall_count.load(Ordering::Relaxed);
+        }
     }
 }
 
@@ -498,6 +621,49 @@ mod tests {
             }
             n
         });
+    }
+
+    #[test]
+    fn pool_stats_account_for_every_job() {
+        let jobs: Vec<u64> = (0..120).collect();
+        for workers in [1, 2, 8] {
+            let mut sum = 0u64;
+            let stats = WorkerPool::new(workers).fold_ordered_with_stats(
+                &jobs,
+                |_, &n| n,
+                &mut sum,
+                |sum, _, n| *sum += n,
+            );
+            assert_eq!(sum, jobs.iter().sum::<u64>(), "worker count {workers}");
+            assert_eq!(stats.total_jobs(), jobs.len() as u64, "worker count {workers}");
+            assert_eq!(stats.worker_jobs.len(), workers.min(jobs.len()));
+        }
+    }
+
+    #[test]
+    fn try_fold_with_stats_reports_error_and_partial_counts() {
+        let jobs: Vec<usize> = (0..50).collect();
+        let mut folded = Vec::new();
+        let outcome = WorkerPool::new(4).try_fold_ordered_with_stats(
+            &jobs,
+            |i, _| if i == 10 { Err(i) } else { Ok(i) },
+            &mut folded,
+            |folded, _, i| folded.push(i),
+        );
+        assert_eq!(outcome.unwrap_err(), 10);
+        assert_eq!(folded, (0..10).collect::<Vec<_>>());
+
+        let mut folded = Vec::new();
+        let stats = WorkerPool::serial()
+            .try_fold_ordered_with_stats(
+                &jobs,
+                |i, _| Ok::<usize, ()>(i),
+                &mut folded,
+                |folded, _, i| folded.push(i),
+            )
+            .unwrap();
+        assert_eq!(stats.total_jobs(), 50);
+        assert_eq!(stats.fold_stalls, 0);
     }
 
     #[test]

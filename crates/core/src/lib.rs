@@ -47,7 +47,10 @@ pub mod training;
 pub use campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign, SettingResult};
 pub use config::{MissionSpec, Protection, TrainingSpec};
 pub use error::MavfiError;
-pub use exec::{run_campaign, CampaignExecutor, SchemeConfig, TrainedDetectorCache, WorkerPool};
+pub use exec::{
+    run_campaign, run_campaign_instrumented, CampaignExecutor, SchemeConfig, TrainedDetectorCache,
+    WorkerPool,
+};
 pub use qof::{QofMetrics, QofSummary};
 pub use runner::{MissionOutcome, MissionRunner, TrainedDetectors};
 pub use training::{train_detectors, train_detectors_in};
@@ -58,7 +61,8 @@ pub mod prelude {
     pub use crate::config::{MissionSpec, Protection, TrainingSpec};
     pub use crate::error::MavfiError;
     pub use crate::exec::{
-        run_campaign, CampaignExecutor, SchemeConfig, TrainedDetectorCache, WorkerPool,
+        run_campaign, run_campaign_instrumented, CampaignExecutor, SchemeConfig,
+        TrainedDetectorCache, WorkerPool,
     };
     pub use crate::qof::{QofMetrics, QofSummary};
     pub use crate::report::TextTable;
@@ -70,4 +74,5 @@ pub mod prelude {
     pub use mavfi_platform::prelude::*;
     pub use mavfi_ppc::prelude::*;
     pub use mavfi_sim::prelude::*;
+    pub use mavfi_telemetry::prelude::*;
 }

@@ -15,6 +15,7 @@ use mavfi_sim::geometry::Vec3;
 use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
 use mavfi_sim::vehicle::FlightCommand;
 use mavfi_sim::world::{MissionStatus, World};
+use mavfi_telemetry::MissionTelemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{MissionSpec, Protection};
@@ -141,13 +142,21 @@ impl MissionRunner {
 
     /// Runs an error-free mission with no protection (a "golden run").
     pub fn run_golden(&self) -> MissionOutcome {
-        self.run_internal(None, None, None)
+        self.run_internal(None, None, None, None)
+    }
+
+    /// Runs a golden run while feeding the telemetry sink each tick:
+    /// wall-clock kernel timing is enabled on the pipeline and every tick
+    /// is observed.  Results are bit-identical to [`Self::run_golden`] —
+    /// the sink only reads.
+    pub fn run_golden_instrumented(&self, sink: &mut MissionTelemetry) -> MissionOutcome {
+        self.run_internal(None, None, None, Some(sink))
     }
 
     /// Runs an error-free mission while recording preprocessed telemetry
     /// into `telemetry` (used to train the detectors).
     pub fn run_collecting_telemetry(&self, telemetry: &mut TelemetrySet) -> MissionOutcome {
-        let outcome = self.run_internal(None, None, Some(telemetry));
+        let outcome = self.run_internal(None, None, Some(telemetry), None);
         telemetry.end_mission();
         outcome
     }
@@ -164,6 +173,34 @@ impl MissionRunner {
         protection: Protection,
         detectors: Option<&TrainedDetectors>,
     ) -> Result<MissionOutcome, MavfiError> {
+        self.run_with_sink(fault, protection, detectors, None)
+    }
+
+    /// Like [`Self::run`], but feeds the telemetry sink each tick.  The
+    /// sink is purely observational: qof/trail are bit-identical with and
+    /// without it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavfiError::MissingDetectors`] under the same conditions
+    /// as [`Self::run`].
+    pub fn run_instrumented(
+        &self,
+        fault: Option<FaultSpec>,
+        protection: Protection,
+        detectors: Option<&TrainedDetectors>,
+        sink: &mut MissionTelemetry,
+    ) -> Result<MissionOutcome, MavfiError> {
+        self.run_with_sink(fault, protection, detectors, Some(sink))
+    }
+
+    fn run_with_sink(
+        &self,
+        fault: Option<FaultSpec>,
+        protection: Protection,
+        detectors: Option<&TrainedDetectors>,
+        sink: Option<&mut MissionTelemetry>,
+    ) -> Result<MissionOutcome, MavfiError> {
         let detector_tap = match protection {
             Protection::None => None,
             Protection::Gaussian => {
@@ -179,7 +216,7 @@ impl MissionRunner {
                 Some(DetectorTap::new(DetectionScheme::Autoencoder(detectors.aad.clone())))
             }
         };
-        Ok(self.run_internal(fault.map(FaultInjector::new), detector_tap, None))
+        Ok(self.run_internal(fault.map(FaultInjector::new), detector_tap, None, sink))
     }
 
     fn run_internal(
@@ -187,6 +224,7 @@ impl MissionRunner {
         injector: Option<FaultInjector>,
         detector: Option<DetectorTap>,
         mut telemetry: Option<&mut TelemetrySet>,
+        mut sink: Option<&mut MissionTelemetry>,
     ) -> MissionOutcome {
         let spec = self.spec;
         let environment = spec.environment.build(spec.seed);
@@ -195,13 +233,18 @@ impl MissionRunner {
         let camera = DepthCamera::default();
         let mut world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
         let mut tap = MissionTap { injector, detector };
+        if sink.is_some() {
+            pipeline.set_timing_enabled(true);
+        }
 
         let dt = spec.control_period;
         // One frame and one cull scratch reused for the whole mission: the
         // closed loop performs zero steady-state heap allocations (see
-        // docs/PERFORMANCE.md).
+        // docs/PERFORMANCE.md) — telemetry included, its buffers are
+        // preallocated at sink construction.
         let mut frame = DepthFrame::default();
         let mut capture_scratch = CaptureScratch::new();
+        let mut tick_index: u64 = 0;
         while world.status() == MissionStatus::InProgress {
             camera.capture_into(
                 world.environment(),
@@ -214,6 +257,17 @@ impl MissionRunner {
                 telemetry.record(&tick.monitored);
             }
             world.step(&tick.command, dt);
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.observe_tick(
+                    tick_index,
+                    world.elapsed(),
+                    &tick,
+                    &pipeline,
+                    tap.detector.as_ref().map(|detector| detector.stats()),
+                    tap.injector.as_ref().and_then(|injector| injector.record()),
+                );
+            }
+            tick_index += 1;
         }
 
         MissionOutcome {

@@ -2,8 +2,6 @@
 //! [`StageTap`] exactly like the paper's ROS detection node subscribes to
 //! the inter-kernel topics.
 
-use std::collections::HashMap;
-
 use mavfi_ppc::perception::occupancy::OccupancyGrid;
 use mavfi_ppc::states::{
     CollisionEstimate, MonitoredStates, PointCloud, Stage, StateField, Trajectory,
@@ -39,14 +37,15 @@ impl DetectionScheme {
 }
 
 /// Counters describing the detector's activity during one mission.
+///
+/// Per-stage counters are fixed arrays indexed by [`Stage::index`] — no
+/// hashing on the per-tick path, deterministic iteration order for free.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DetectorStats {
     /// Number of pipeline ticks observed.
     pub ticks: u64,
-    /// Alarms raised, per stage of the offending state.
-    pub alarms: HashMap<Stage, u64>,
-    /// Stage recomputations requested, per stage.
-    pub recomputations: HashMap<Stage, u64>,
+    alarms: [u64; Stage::COUNT],
+    recomputations: [u64; Stage::COUNT],
     /// Corrupted states abandoned in place (restored to the last good
     /// value) without a recomputation request.
     pub abandonments: u64,
@@ -54,21 +53,31 @@ pub struct DetectorStats {
 
 impl DetectorStats {
     fn count_alarm(&mut self, stage: Stage) {
-        *self.alarms.entry(stage).or_insert(0) += 1;
+        self.alarms[stage.index()] += 1;
     }
 
     fn count_recompute(&mut self, stage: Stage) {
-        *self.recomputations.entry(stage).or_insert(0) += 1;
+        self.recomputations[stage.index()] += 1;
+    }
+
+    /// Alarms raised against states of `stage`.
+    pub fn alarms_of(&self, stage: Stage) -> u64 {
+        self.alarms[stage.index()]
+    }
+
+    /// Recomputations requested for `stage`.
+    pub fn recomputations_of(&self, stage: Stage) -> u64 {
+        self.recomputations[stage.index()]
     }
 
     /// Total alarms across stages.
     pub fn total_alarms(&self) -> u64 {
-        self.alarms.values().sum()
+        self.alarms.iter().sum()
     }
 
     /// Total recomputation requests across stages.
     pub fn total_recomputations(&self) -> u64 {
-        self.recomputations.values().sum()
+        self.recomputations.iter().sum()
     }
 }
 
@@ -335,7 +344,7 @@ mod tests {
         tap.after_perception(&mut estimate);
         let action = tap.after_planning(&mut trajectory, 0);
         assert_eq!(action, TapAction::Recompute);
-        assert_eq!(tap.stats().recomputations.get(&Stage::Planning), Some(&1));
+        assert_eq!(tap.stats().recomputations_of(Stage::Planning), 1);
         assert_eq!(tap.scheme().label(), "Gaussian");
     }
 
@@ -367,7 +376,7 @@ mod tests {
         assert_eq!(action, TapAction::Continue);
         assert_eq!(trajectory.waypoints[0], good_waypoint);
         assert!(tap.stats().abandonments >= 1);
-        assert_eq!(tap.stats().recomputations.get(&Stage::Planning), None);
+        assert_eq!(tap.stats().recomputations_of(Stage::Planning), 0);
     }
 
     #[test]
@@ -387,7 +396,7 @@ mod tests {
         command.velocity.x = -3.0e200;
         let action = tap.after_control(&mut command);
         assert_eq!(action, TapAction::Recompute);
-        assert_eq!(tap.stats().recomputations.get(&Stage::Control), Some(&1));
+        assert_eq!(tap.stats().recomputations_of(Stage::Control), 1);
         assert!(tap.stats().total_alarms() >= 1);
     }
 

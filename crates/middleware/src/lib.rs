@@ -40,7 +40,7 @@ pub use error::MiddlewareError;
 pub use executor::{Executor, ExecutorReport};
 pub use message::Message;
 pub use node::{Node, NodeContext, NodeError};
-pub use record::{RecordEntry, Recorder};
+pub use record::{RecordEntry, Recorder, DEFAULT_RECORD_CAPACITY};
 pub use registry::{NodeInfo, Registry};
 pub use service::{ServiceClient, ServiceServer};
 pub use topic::{Bus, Publisher, Subscriber};

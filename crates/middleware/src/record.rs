@@ -1,5 +1,6 @@
 //! A rosbag-like recorder capturing every publication on a [`Bus`](crate::Bus).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -9,6 +10,9 @@ use parking_lot::Mutex;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordEntry {
     /// Monotonically increasing sequence number across the whole bus.
+    /// Sequence numbers are assigned at publication time and survive
+    /// eviction: after the ring wraps, the oldest retained entry's `seq`
+    /// tells you exactly how many earlier publications were dropped.
     pub seq: u64,
     /// Topic the message was published on.
     pub topic: String,
@@ -21,8 +25,28 @@ pub struct RecordEntry {
 /// Maximum number of characters kept from a message's `Debug` rendering.
 const SUMMARY_LIMIT: usize = 160;
 
+/// Default ring capacity: at 50 Hz and a handful of topics this comfortably
+/// holds the tail of a mission without letting an unattended recorder grow
+/// without bound.
+pub const DEFAULT_RECORD_CAPACITY: usize = 16_384;
+
+#[derive(Debug)]
+struct RecorderState {
+    entries: VecDeque<RecordEntry>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
 /// Records topic publications for post-mission analysis, in the same spirit
 /// as `rosbag record`.
+///
+/// Storage is a **bounded ring buffer** ([`DEFAULT_RECORD_CAPACITY`] entries
+/// by default, configurable via [`Recorder::with_capacity`]): once full, the
+/// *oldest* entry is evicted per new publication, so a long mission keeps
+/// its most recent tail rather than growing without bound.  Evictions are
+/// counted ([`Recorder::dropped`]) and sequence numbers keep counting across
+/// them, so gaps are always attributable.
 ///
 /// Attach a recorder with [`Bus::set_recorder`](crate::Bus::set_recorder);
 /// every subsequent publication is captured.  Cloning a `Recorder` clones a
@@ -41,52 +65,96 @@ const SUMMARY_LIMIT: usize = 160;
 /// assert_eq!(recorder.len(), 1);
 /// assert_eq!(recorder.entries()[0].topic, "ticks");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Recorder {
-    entries: Arc<Mutex<Vec<RecordEntry>>>,
+    state: Arc<Mutex<RecorderState>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Recorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder holding up to [`DEFAULT_RECORD_CAPACITY`]
+    /// entries.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_RECORD_CAPACITY)
     }
 
-    /// Appends one entry.  Intended to be called by the bus, but public so
-    /// that custom transports can participate in recording.
+    /// Creates an empty recorder holding up to `capacity` entries (at least
+    /// one).  The ring is preallocated, so it never grows past `capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Arc::new(Mutex::new(RecorderState {
+                entries: VecDeque::with_capacity(capacity),
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Maximum number of entries retained.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+
+    /// Appends one entry, evicting the oldest if the ring is full.  Intended
+    /// to be called by the bus, but public so that custom transports can
+    /// participate in recording.
     pub fn record(&self, topic: &str, stamp: Duration, summary: impl Into<String>) {
-        let mut entries = self.entries.lock();
-        let seq = entries.len() as u64;
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        if state.entries.len() == state.capacity {
+            state.entries.pop_front();
+            state.dropped += 1;
+        }
         let mut summary = summary.into();
         if summary.len() > SUMMARY_LIMIT {
             summary.truncate(SUMMARY_LIMIT);
         }
-        entries.push(RecordEntry { seq, topic: topic.to_owned(), stamp, summary });
+        state.entries.push_back(RecordEntry { seq, topic: topic.to_owned(), stamp, summary });
     }
 
-    /// Returns a copy of every recorded entry in publication order.
+    /// Returns a copy of every retained entry in publication order (oldest
+    /// retained first).
     pub fn entries(&self) -> Vec<RecordEntry> {
-        self.entries.lock().clone()
+        self.state.lock().entries.iter().cloned().collect()
     }
 
-    /// Number of recorded entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.state.lock().entries.len()
     }
 
-    /// Returns `true` when nothing has been recorded yet.
+    /// Returns `true` when nothing is currently retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Number of entries recorded for a single topic.
-    pub fn count_for_topic(&self, topic: &str) -> usize {
-        self.entries.lock().iter().filter(|entry| entry.topic == topic).count()
+    /// Total publications seen, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.state.lock().next_seq
     }
 
-    /// Removes all recorded entries.
+    /// Entries evicted to respect the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Number of retained entries recorded for a single topic.
+    pub fn count_for_topic(&self, topic: &str) -> usize {
+        self.state.lock().entries.iter().filter(|entry| entry.topic == topic).count()
+    }
+
+    /// Removes all retained entries.  Sequence numbering and the dropped
+    /// count continue from where they were.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        self.state.lock().entries.clear();
     }
 }
 
@@ -124,6 +192,7 @@ mod tests {
         assert_eq!(recorder.count_for_topic("cmd"), 1);
         recorder.clear();
         assert!(recorder.is_empty());
+        assert_eq!(recorder.total_recorded(), 4);
     }
 
     #[test]
@@ -132,5 +201,33 @@ mod tests {
         let other = recorder.clone();
         other.record("t", Duration::ZERO, "m");
         assert_eq!(recorder.len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_sequence_numbers() {
+        let recorder = Recorder::with_capacity(3);
+        assert_eq!(recorder.capacity(), 3);
+        for index in 0..5u64 {
+            recorder.record("t", Duration::from_secs(index), format!("m{index}"));
+        }
+        let entries = recorder.entries();
+        assert_eq!(entries.len(), 3);
+        // The two oldest entries were evicted; the retained tail keeps its
+        // original sequence numbers so the gap is visible.
+        assert_eq!(entries[0].seq, 2);
+        assert_eq!(entries[2].seq, 4);
+        assert_eq!(recorder.dropped(), 2);
+        assert_eq!(recorder.total_recorded(), 5);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let recorder = Recorder::with_capacity(0);
+        assert_eq!(recorder.capacity(), 1);
+        recorder.record("a", Duration::ZERO, "x");
+        recorder.record("b", Duration::ZERO, "y");
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(recorder.entries()[0].topic, "b");
+        assert_eq!(recorder.dropped(), 1);
     }
 }

@@ -40,8 +40,11 @@ pub enum KernelId {
 }
 
 impl KernelId {
+    /// Number of kernels (the length of [`KernelId::ALL`]).
+    pub const COUNT: usize = 11;
+
     /// Every kernel, in pipeline order.
-    pub const ALL: [Self; 11] = [
+    pub const ALL: [Self; Self::COUNT] = [
         Self::PointCloudGeneration,
         Self::OctoMap,
         Self::CollisionCheck,
@@ -66,6 +69,26 @@ impl KernelId {
         Self::RrtStar,
         Self::Pid,
     ];
+
+    /// The kernel's position in [`KernelId::ALL`]: the canonical dense
+    /// index used by array-backed per-kernel tables
+    /// ([`PipelineStats`](crate::pipeline::PipelineStats), telemetry
+    /// histograms) instead of hashing on the hot tick path.
+    pub const fn index(self) -> usize {
+        match self {
+            Self::PointCloudGeneration => 0,
+            Self::OctoMap => 1,
+            Self::CollisionCheck => 2,
+            Self::Rrt => 3,
+            Self::RrtConnect => 4,
+            Self::RrtStar => 5,
+            Self::AStar => 6,
+            Self::Smoothing => 7,
+            Self::MissionPlanner => 8,
+            Self::PathTracking => 9,
+            Self::Pid => 10,
+        }
+    }
 
     /// The stage this kernel belongs to.
     pub fn stage(self) -> Stage {
@@ -150,6 +173,14 @@ mod tests {
         let labels: std::collections::HashSet<&str> =
             KernelId::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), KernelId::ALL.len());
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (position, kernel) in KernelId::ALL.iter().enumerate() {
+            assert_eq!(kernel.index(), position, "{}", kernel.label());
+        }
+        assert_eq!(KernelId::COUNT, KernelId::ALL.len());
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod states;
 pub mod tap;
 
 pub use kernel::KernelId;
-pub use pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList};
+pub use perception::CollisionCacheStats;
+pub use pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList, TickTimings};
 pub use states::{
     CollisionEstimate, MonitoredStates, PointCloud, Stage, StateField, Trajectory, Waypoint,
 };
@@ -43,10 +44,12 @@ pub mod prelude {
     pub use crate::control::{PathTracker, PathTrackerConfig, PidConfig, PidController};
     pub use crate::kernel::KernelId;
     pub use crate::perception::{
-        CollisionChecker, EstimatorConfig, OccupancyGrid, PointCloudGenerator, StateEstimate,
-        StateEstimator,
+        CollisionCacheStats, CollisionChecker, EstimatorConfig, OccupancyGrid, PointCloudGenerator,
+        StateEstimate, StateEstimator,
     };
-    pub use crate::pipeline::{PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList};
+    pub use crate::pipeline::{
+        PipelineStats, PpcConfig, PpcPipeline, PpcTick, StageList, TickTimings,
+    };
     pub use crate::planning::{
         AStarPlanner, CellState, ExplorationCell, ExplorationMap, FrontierPlanner, MissionPlan,
         MotionPlanner, PathSmoother, PlannedPath, PlannerAlgorithm, PlannerConfig, Rrt, RrtConnect,

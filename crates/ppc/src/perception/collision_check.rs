@@ -31,6 +31,46 @@ impl Default for CollisionCheckerConfig {
     }
 }
 
+/// Hit/miss counters of the two memoised halves of
+/// [`CollisionChecker::run_cached`], exposed like
+/// `TrainedDetectorCache::stats()`: the runtime evidence behind the
+/// "perception recovery becomes a cache hit" claim.  Counters only move on
+/// `run_cached` calls with the cache enabled; [`CollisionChecker::run`] and
+/// cache-disabled calls leave them untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CollisionCacheStats {
+    /// Velocity-ray marches served from the cache.
+    pub ray_hits: u64,
+    /// Velocity-ray marches that had to probe voxels.
+    pub ray_misses: u64,
+    /// Future-way-point scans served from the cache.
+    pub scan_hits: u64,
+    /// Future-way-point scans that had to probe voxels.
+    pub scan_misses: u64,
+}
+
+impl CollisionCacheStats {
+    /// Total lookups across both halves.
+    pub fn lookups(&self) -> u64 {
+        self.ray_hits + self.ray_misses + self.scan_hits + self.scan_misses
+    }
+
+    /// Total hits across both halves.
+    pub fn hits(&self) -> u64 {
+        self.ray_hits + self.scan_hits
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+}
+
 /// Cache key of the velocity-ray march: everything that half reads besides
 /// the grid contents (identified by their revision).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +101,7 @@ pub struct CollisionChecker {
     ray_cache: Option<(RayKey, (f64, bool))>,
     scan_cache: Option<(ScanKey, (f64, bool))>,
     cache_enabled: bool,
+    cache_stats: CollisionCacheStats,
 }
 
 /// Checkers compare by configuration: the caches are memoisation state, not
@@ -80,7 +121,20 @@ impl Default for CollisionChecker {
 impl CollisionChecker {
     /// Creates a collision checker.
     pub fn new(config: CollisionCheckerConfig) -> Self {
-        Self { config, ray_cache: None, scan_cache: None, cache_enabled: true }
+        Self {
+            config,
+            ray_cache: None,
+            scan_cache: None,
+            cache_enabled: true,
+            cache_stats: CollisionCacheStats::default(),
+        }
+    }
+
+    /// Hit/miss counters of the revision cache.  Counters accumulate over
+    /// the checker's lifetime (one mission for the pipeline-owned checker)
+    /// and are not part of equality.
+    pub fn cache_stats(&self) -> CollisionCacheStats {
+        self.cache_stats
     }
 
     /// The active configuration.
@@ -188,8 +242,12 @@ impl CollisionChecker {
 
         let ray_key = RayKey { grid_revision: grid.revision(), position, velocity };
         let (time_to_collision, ray_hit) = match self.ray_cache {
-            Some((key, value)) if key == ray_key => value,
+            Some((key, value)) if key == ray_key => {
+                self.cache_stats.ray_hits += 1;
+                value
+            }
             _ => {
+                self.cache_stats.ray_misses += 1;
                 let value = self.march_ray(grid, position, velocity);
                 self.ray_cache = Some((ray_key, value));
                 value
@@ -203,8 +261,12 @@ impl CollisionChecker {
             active_index,
         };
         let (future_collision_seq, scan_hit) = match self.scan_cache {
-            Some((key, value)) if key == scan_key => value,
+            Some((key, value)) if key == scan_key => {
+                self.cache_stats.scan_hits += 1;
+                value
+            }
             _ => {
+                self.cache_stats.scan_misses += 1;
                 let value = self.scan_waypoints(grid, trajectory, active_index);
                 self.scan_cache = Some((scan_key, value));
                 value
@@ -361,6 +423,38 @@ mod tests {
         // Same (stale) revision, but the disabled cache recomputes anyway.
         let fresh = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
         assert_eq!(fresh.future_collision_seq, 3.0);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses_per_half() {
+        let grid = wall_grid();
+        let mut checker = CollisionChecker::default();
+        let trajectory = straight_trajectory();
+        assert_eq!(checker.cache_stats(), CollisionCacheStats::default());
+
+        // Cold call: both halves miss.
+        let _ = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        let cold = checker.cache_stats();
+        assert_eq!((cold.ray_misses, cold.scan_misses), (1, 1));
+        assert_eq!(cold.hits(), 0);
+
+        // Warm call with identical keys: both halves hit.
+        let _ = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 0, 0);
+        let warm = checker.cache_stats();
+        assert_eq!((warm.ray_hits, warm.scan_hits), (1, 1));
+        assert_eq!(warm.lookups(), 4);
+        assert_eq!(warm.hit_rate(), 0.5);
+
+        // Bumping the trajectory revision invalidates only the scan half.
+        let _ = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 1, 0);
+        let split = checker.cache_stats();
+        assert_eq!((split.ray_hits, split.scan_hits), (2, 1));
+        assert_eq!((split.ray_misses, split.scan_misses), (1, 2));
+
+        // Disabled-cache calls leave the counters untouched.
+        checker.set_cache_enabled(false);
+        let _ = checker.run_cached(&grid, Vec3::ZERO, Vec3::ZERO, &trajectory, 1, 0);
+        assert_eq!(checker.cache_stats(), split);
     }
 
     #[test]

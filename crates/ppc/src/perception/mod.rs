@@ -6,7 +6,7 @@ pub mod localization;
 pub mod occupancy;
 pub mod point_cloud;
 
-pub use collision_check::{CollisionChecker, CollisionCheckerConfig};
+pub use collision_check::{CollisionCacheStats, CollisionChecker, CollisionCheckerConfig};
 pub use localization::{EstimatorConfig, StateEstimate, StateEstimator};
 pub use occupancy::{OccupancyGrid, VoxelKey};
 pub use point_cloud::PointCloudGenerator;

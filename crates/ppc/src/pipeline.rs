@@ -2,7 +2,7 @@
 //! computer" software of the paper, with stage taps for fault injection and
 //! anomaly detection.
 
-use std::collections::HashMap;
+use std::time::Instant;
 
 use mavfi_sim::geometry::Vec3;
 use mavfi_sim::sensors::DepthFrame;
@@ -62,49 +62,118 @@ impl PpcConfig {
 }
 
 /// Per-stage and per-kernel bookkeeping of one mission's pipeline activity.
+///
+/// Backed by fixed arrays indexed by [`KernelId::index`] / [`Stage::index`]
+/// rather than hash maps: counting a kernel on the hot tick path is a single
+/// array increment, and every iteration over the counters is structurally in
+/// canonical [`KernelId::ALL`] / [`Stage::ALL`] order — the deterministic
+/// summing that `total_compute_ms` previously had to enforce by convention.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineStats {
-    /// Number of invocations of each kernel.
-    pub kernel_invocations: HashMap<KernelId, u64>,
+    kernel_invocations: [u64; KernelId::COUNT],
     /// Number of replans triggered.
     pub replans: u64,
-    /// Number of recomputations requested by the taps, per stage.
-    pub recomputations: HashMap<Stage, u64>,
+    recomputations: [u64; Stage::COUNT],
     /// Number of pipeline ticks executed.
     pub ticks: u64,
 }
 
 impl PipelineStats {
     fn count_kernel(&mut self, kernel: KernelId) {
-        *self.kernel_invocations.entry(kernel).or_insert(0) += 1;
+        self.kernel_invocations[kernel.index()] += 1;
     }
 
     fn count_recompute(&mut self, stage: Stage) {
-        *self.recomputations.entry(stage).or_insert(0) += 1;
+        self.recomputations[stage.index()] += 1;
     }
 
     /// Total invocations of `kernel`.
     pub fn invocations(&self, kernel: KernelId) -> u64 {
-        self.kernel_invocations.get(&kernel).copied().unwrap_or(0)
+        self.kernel_invocations[kernel.index()]
     }
 
     /// Total recomputations of `stage`.
     pub fn recomputations_of(&self, stage: Stage) -> u64 {
-        self.recomputations.get(&stage).copied().unwrap_or(0)
+        self.recomputations[stage.index()]
+    }
+
+    /// Total recomputations across all stages.
+    pub fn total_recomputations(&self) -> u64 {
+        self.recomputations.iter().sum()
     }
 
     /// Total nominal compute time spent in kernels, in milliseconds, using
     /// the i9 latency figures from [`KernelId::nominal_latency_ms`].
     ///
-    /// Summed in canonical [`KernelId::ALL`] order: iterating the invocation
-    /// map directly would visit kernels in the `HashMap`'s per-instance
-    /// random order, making the floating-point total differ in the last bits
-    /// between otherwise identical missions.
+    /// The sum runs over the invocation array, i.e. structurally in
+    /// canonical [`KernelId::ALL`] order, so the floating-point total is
+    /// identical between identical missions.
     pub fn total_compute_ms(&self) -> f64 {
         KernelId::ALL
             .iter()
             .map(|&kernel| kernel.nominal_latency_ms() * self.invocations(kernel) as f64)
             .sum()
+    }
+}
+
+/// Wall-clock durations of the kernel invocations of one tick, as a
+/// fixed-capacity inline list in invocation order.
+///
+/// `Copy` and heap-free: telemetry reads it after each tick without
+/// allocating.  The capacity (16) exceeds the worst case per tick — every
+/// stage recomputing plus a double replan reaches 14 invocations — so
+/// `push` never drops samples in practice; if a future pipeline exceeds it,
+/// excess samples are silently dropped rather than allocating or panicking
+/// on the hot path.
+///
+/// Wall-clock time **never feeds results**: these samples exist only for
+/// observability (see `docs/OBSERVABILITY.md`) and are collected only while
+/// [`PpcPipeline::set_timing_enabled`] is on.
+#[derive(Debug, Clone, Copy)]
+pub struct TickTimings {
+    samples: [(KernelId, u64); Self::CAPACITY],
+    len: u8,
+}
+
+impl TickTimings {
+    /// Maximum samples captured per tick.
+    pub const CAPACITY: usize = 16;
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn push(&mut self, kernel: KernelId, nanos: u64) {
+        if (self.len as usize) < Self::CAPACITY {
+            self.samples[self.len as usize] = (kernel, nanos);
+            self.len += 1;
+        }
+    }
+
+    /// The recorded `(kernel, nanoseconds)` samples, in invocation order.
+    pub fn as_slice(&self) -> &[(KernelId, u64)] {
+        &self.samples[..self.len as usize]
+    }
+
+    /// Iterates over the recorded samples.
+    pub fn iter(&self) -> impl Iterator<Item = (KernelId, u64)> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for TickTimings {
+    fn default() -> Self {
+        Self { samples: [(KernelId::Pid, 0); Self::CAPACITY], len: 0 }
     }
 }
 
@@ -238,6 +307,10 @@ pub struct PpcPipeline {
     // stage.
     trajectory_revision: u64,
     trajectory_shadow: Vec<Waypoint>,
+    // Wall-clock observability (off by default): per-tick kernel durations
+    // captured inline, read back by telemetry.  Never feeds results.
+    timing_enabled: bool,
+    tick_timings: TickTimings,
 }
 
 impl std::fmt::Debug for PpcPipeline {
@@ -281,6 +354,8 @@ impl PpcPipeline {
             resample_positions: Vec::new(),
             trajectory_revision: 0,
             trajectory_shadow: Vec::new(),
+            timing_enabled: false,
+            tick_timings: TickTimings::default(),
         }
     }
 
@@ -325,6 +400,44 @@ impl PpcPipeline {
         self.collision_checker.set_cache_enabled(enabled);
     }
 
+    /// Hit/miss counters of the collision-check revision cache.
+    pub fn collision_cache_stats(&self) -> crate::perception::CollisionCacheStats {
+        self.collision_checker.cache_stats()
+    }
+
+    /// Enables or disables wall-clock timing of kernel invocations
+    /// (disabled by default).  Timing feeds [`Self::last_tick_timings`]
+    /// only — results are bit-identical either way, and the capture is
+    /// allocation-free (`Instant::now` plus an inline array write).
+    pub fn set_timing_enabled(&mut self, enabled: bool) {
+        self.timing_enabled = enabled;
+    }
+
+    /// Whether wall-clock kernel timing is on.
+    pub fn timing_enabled(&self) -> bool {
+        self.timing_enabled
+    }
+
+    /// Wall-clock kernel durations of the most recent tick (empty while
+    /// timing is disabled or before the first timed tick).
+    pub fn last_tick_timings(&self) -> &TickTimings {
+        &self.tick_timings
+    }
+
+    fn timing_start(&self) -> Option<Instant> {
+        if self.timing_enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    fn record_timing(&mut self, kernel: KernelId, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.tick_timings.push(kernel, start.elapsed().as_nanos() as u64);
+        }
+    }
+
     /// Runs one perception-planning-control cycle.
     ///
     /// `tap` is invoked between stages and may mutate inter-kernel states
@@ -343,17 +456,23 @@ impl PpcPipeline {
         tap: &mut dyn StageTap,
     ) -> PpcTick {
         self.stats.ticks += 1;
+        self.tick_timings.clear();
         let mut recomputed_stages = StageList::new();
         let position = vehicle.position;
 
         // ----- Perception -----
+        let timer = self.timing_start();
         self.point_cloud_generator.run_into(frame, &mut self.cloud);
+        self.record_timing(KernelId::PointCloudGeneration, timer);
         self.stats.count_kernel(KernelId::PointCloudGeneration);
         tap.after_point_cloud(&mut self.cloud);
+        let timer = self.timing_start();
         self.occupancy.insert_cloud(&self.cloud);
+        self.record_timing(KernelId::OctoMap, timer);
         self.stats.count_kernel(KernelId::OctoMap);
         tap.after_occupancy(&mut self.occupancy);
 
+        let timer = self.timing_start();
         let mut estimate = self.collision_checker.run_cached(
             &self.occupancy,
             position,
@@ -362,6 +481,7 @@ impl PpcPipeline {
             self.trajectory_revision,
             self.tracker.active_index(),
         );
+        self.record_timing(KernelId::CollisionCheck, timer);
         self.stats.count_kernel(KernelId::CollisionCheck);
         if tap.after_perception(&mut estimate) == TapAction::Recompute {
             // Recovery: rebuild the perception output from scratch (occupancy
@@ -370,8 +490,11 @@ impl PpcPipeline {
             // the corruption hit the estimate, not the map — both grid and
             // trajectory revisions are unchanged and the re-check is a pure
             // cache hit.
+            let timer = self.timing_start();
             self.occupancy.insert_cloud(&self.cloud);
+            self.record_timing(KernelId::OctoMap, timer);
             self.stats.count_kernel(KernelId::OctoMap);
+            let timer = self.timing_start();
             estimate = self.collision_checker.run_cached(
                 &self.occupancy,
                 position,
@@ -380,6 +503,7 @@ impl PpcPipeline {
                 self.trajectory_revision,
                 self.tracker.active_index(),
             );
+            self.record_timing(KernelId::CollisionCheck, timer);
             self.stats.count_kernel(KernelId::CollisionCheck);
             self.stats.count_recompute(Stage::Perception);
             recomputed_stages.push(Stage::Perception);
@@ -416,13 +540,17 @@ impl PpcPipeline {
 
         // ----- Control -----
         self.stats.count_kernel(KernelId::PathTracking);
+        let timer = self.timing_start();
         let target = self.tracker.target(&self.trajectory, position);
+        self.record_timing(KernelId::PathTracking, timer);
         let mut command = self.issue_command(target.as_ref(), vehicle, dt);
         if tap.after_control(&mut command) == TapAction::Recompute {
             // Recovery: recompute the control output (the 0.46 ms path).
             self.pid.reset();
             self.stats.count_kernel(KernelId::PathTracking);
+            let timer = self.timing_start();
             let fresh_target = self.tracker.target(&self.trajectory, position);
+            self.record_timing(KernelId::PathTracking, timer);
             command = self.issue_command(fresh_target.as_ref(), vehicle, dt);
             self.stats.count_recompute(Stage::Control);
             recomputed_stages.push(Stage::Control);
@@ -430,8 +558,10 @@ impl PpcPipeline {
 
         // ----- Mission bookkeeping -----
         self.stats.count_kernel(KernelId::MissionPlanner);
+        let timer = self.timing_start();
         let mission_complete =
             self.mission.advance_if_reached(position, self.config.planner_config.goal_tolerance);
+        self.record_timing(KernelId::MissionPlanner, timer);
 
         let monitored = MonitoredStates {
             collision: estimate,
@@ -453,14 +583,19 @@ impl PpcPipeline {
         };
         self.stats.count_kernel(self.config.planner.kernel());
         self.stats.replans += 1;
-        if self.planner.plan_into(&self.occupancy, position, goal, &mut self.planned) {
+        let timer = self.timing_start();
+        let planned = self.planner.plan_into(&self.occupancy, position, goal, &mut self.planned);
+        self.record_timing(self.config.planner.kernel(), timer);
+        if planned {
             self.stats.count_kernel(KernelId::Smoothing);
+            let timer = self.timing_start();
             self.smoother.run_into(&self.occupancy, &self.planned, &mut self.smoothed);
             self.trajectory_generator.run_into(
                 &self.smoothed,
                 &mut self.resample_positions,
                 &mut self.trajectory,
             );
+            self.record_timing(KernelId::Smoothing, timer);
             self.tracker.reset();
             self.pid.reset();
             true
@@ -478,10 +613,13 @@ impl PpcPipeline {
         dt: f64,
     ) -> FlightCommand {
         self.stats.count_kernel(KernelId::Pid);
-        match target {
+        let timer = self.timing_start();
+        let command = match target {
             Some(waypoint) => self.pid.run(waypoint, vehicle, dt),
             None => FlightCommand::HOLD,
-        }
+        };
+        self.record_timing(KernelId::Pid, timer);
+        command
     }
 }
 

@@ -17,8 +17,21 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// Number of stages (the length of [`Stage::ALL`]).
+    pub const COUNT: usize = 3;
+
     /// All stages, in pipeline order.
-    pub const ALL: [Self; 3] = [Self::Perception, Self::Planning, Self::Control];
+    pub const ALL: [Self; Self::COUNT] = [Self::Perception, Self::Planning, Self::Control];
+
+    /// The stage's position in [`Stage::ALL`]: the canonical dense index
+    /// used by array-backed per-stage counters instead of hashing.
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Perception => 0,
+            Self::Planning => 1,
+            Self::Control => 2,
+        }
+    }
 
     /// Short display label.
     pub fn label(self) -> &'static str {

@@ -1,0 +1,192 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! A histogram is a flat `[u64; 64]` bucket array indexed by the position of
+//! the highest set bit of the sample: recording is two array writes and a
+//! handful of integer ops, with no heap allocation ever — the counting-
+//! allocator tests run with these live on the tick path.  Merging is
+//! bucket-wise addition, which is associative and order-insensitive, so
+//! campaign rollups combine mission histograms deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// A log2-bucketed histogram of nanosecond latencies.
+///
+/// `Copy` and fully inline (no heap): suitable for per-kernel arrays inside
+/// the telemetry sink.  Percentile queries return the *upper bound* of the
+/// bucket containing the requested rank, capped at the exact observed
+/// maximum — a conservative estimate whose error is at most 2x, the
+/// standard trade-off of log2 bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { counts: [0; Self::BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: one per possible position of a `u64` sample's
+    /// highest set bit (bucket `b` covers `[2^b, 2^(b+1))`; bucket 0 also
+    /// holds zero samples).
+    pub const BUCKETS: usize = 64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.  Allocation-free.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+    }
+
+    /// Merges `other` into `self` by bucket-wise addition.  Associative and
+    /// commutative, so any fixed merge order yields the same rollup.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (ns); 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of the recorded samples (ns); 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `quantile` percentile (ns), where
+    /// `quantile` is in `[0, 1]`.  Returns 0 when empty.
+    pub fn percentile(&self, quantile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((quantile.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (bucket, &bucket_count) in self.counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= target {
+                let upper = if bucket >= 63 { u64::MAX } else { (1u64 << (bucket + 1)) - 1 };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate (ns).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate (ns).
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate (ns).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.p50(), 0);
+        assert_eq!(hist.p99(), 0);
+        assert_eq!(hist.max_ns(), 0);
+        assert_eq!(hist.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn records_land_in_log2_buckets_and_percentiles_are_ordered() {
+        let mut hist = LatencyHistogram::new();
+        for nanos in [0, 1, 2, 3, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            hist.record(nanos);
+        }
+        assert_eq!(hist.count(), 9);
+        assert_eq!(hist.max_ns(), 1_000_000);
+        assert!(hist.p50() <= hist.p90());
+        assert!(hist.p90() <= hist.p99());
+        assert!(hist.p99() <= hist.max_ns());
+        // The p99 bucket upper bound is capped at the exact max.
+        assert_eq!(hist.p99(), 1_000_000);
+    }
+
+    #[test]
+    fn percentile_upper_bound_is_at_most_2x() {
+        let mut hist = LatencyHistogram::new();
+        for _ in 0..100 {
+            hist.record(700);
+        }
+        let p50 = hist.p50();
+        assert!((700..=1400).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_and_order_insensitive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for nanos in [5, 50, 500] {
+            a.record(nanos);
+        }
+        for nanos in [7, 70, 7_000_000] {
+            b.record(nanos);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.max_ns(), 7_000_000);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut hist = LatencyHistogram::new();
+        for nanos in [3, 33, 333, 3_333] {
+            hist.record(nanos);
+        }
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hist);
+    }
+}

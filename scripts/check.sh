@@ -2,8 +2,9 @@
 # The full local lint gate: formatting, clippy (warnings are errors),
 # rustdoc (warnings are errors, including broken intra-doc links — the
 # `docs/` markdown pages are included into the `mavfi-suite` crate docs, so
-# the same gate covers them) and a relative-link existence check over the
-# repository's markdown documentation.
+# the same gate covers them), a smoke run of the instrumented-telemetry
+# example, and a relative-link existence check over the repository's
+# markdown documentation.
 #
 # Usage: ./scripts/check.sh
 #
@@ -21,6 +22,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> RUSTDOCFLAGS=-Dwarnings cargo doc --no-deps (includes docs/*.md)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "==> telemetry_report example smoke run"
+cargo run --release --offline -q --example telemetry_report >/dev/null
 
 echo "==> markdown relative links resolve (README.md, docs/, CHANGES.md)"
 broken=0

@@ -31,6 +31,11 @@ pub mod docs {
     /// and the revision-cache invariants.
     #[doc = include_str!("../docs/PERFORMANCE.md")]
     pub mod performance {}
+
+    /// `docs/OBSERVABILITY.md`: telemetry design rules — histograms,
+    /// the deterministic event timeline and campaign rollups.
+    #[doc = include_str!("../docs/OBSERVABILITY.md")]
+    pub mod observability {}
 }
 
 pub use mavfi;
@@ -41,6 +46,7 @@ pub use mavfi_nn;
 pub use mavfi_platform;
 pub use mavfi_ppc;
 pub use mavfi_sim;
+pub use mavfi_telemetry;
 
 /// Convenience re-exports used by the examples and integration tests.
 ///

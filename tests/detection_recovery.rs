@@ -99,6 +99,6 @@ fn gaussian_recovery_triggers_stage_recomputation() {
         "the Gaussian scheme recovers by recomputing the offending stage"
     );
     // The pipeline recorded those recomputations too.
-    let pipeline_recomputes: u64 = outcome.pipeline.recomputations.values().sum();
+    let pipeline_recomputes: u64 = outcome.pipeline.total_recomputations();
     assert!(pipeline_recomputes >= 1);
 }

@@ -1,0 +1,102 @@
+//! Proves the telemetry layer's inertness contract: attaching the full
+//! observability stack changes **nothing** about mission or campaign
+//! results, and the deterministic half of the campaign rollup is
+//! bit-identical across worker counts.
+
+use mavfi_suite::prelude::*;
+
+fn quick_detectors() -> SchemeConfig {
+    // Shared through the process-wide cache so the campaign tests in this
+    // binary train once, not per test.
+    let training =
+        TrainingSpec { missions: 1, base_seed: 77, mission_time_budget: 25.0, epochs: 5 };
+    SchemeConfig::cached(EnvironmentKind::Randomized, training)
+}
+
+fn quick_campaign() -> CampaignConfig {
+    CampaignConfig {
+        environment: EnvironmentKind::Farm,
+        golden_runs: 1,
+        injections_per_stage: 1,
+        base_seed: 5,
+        mission_time_budget: 60.0,
+    }
+}
+
+#[test]
+fn instrumented_mission_is_bit_identical_to_uninstrumented() {
+    let detectors = quick_detectors().detectors();
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 33).with_time_budget(120.0);
+    let runner = MissionRunner::new(spec);
+    let fault = FaultSpec {
+        target: InjectionTarget::State(StateField::WaypointX),
+        model: FaultModel::single_bit_in(BitField::Exponent),
+        trigger_tick: 50,
+        seed: 9,
+    };
+
+    let plain = runner.run(Some(fault), Protection::Autoencoder, Some(&detectors)).unwrap();
+    let mut sink = MissionTelemetry::new();
+    let observed = runner
+        .run_instrumented(Some(fault), Protection::Autoencoder, Some(&detectors), &mut sink)
+        .unwrap();
+
+    // The whole outcome — qof, trail, fault record, detector stats,
+    // pipeline stats — must be unchanged by observation.
+    assert_eq!(plain, observed);
+
+    // And the sink must actually have watched the mission.
+    assert_eq!(sink.counters().ticks, observed.pipeline.ticks);
+    let events = sink.timeline().events();
+    assert!(
+        events.iter().any(|e| matches!(e.event, TelemetryEvent::FaultInjected { .. })),
+        "the injected fault must appear on the timeline"
+    );
+    // Timeline stamps are simulation state only: ticks and sim seconds.
+    for event in events {
+        assert!(event.sim_time_s <= 120.0 + 1.0, "timeline stamped with sim time, not wall time");
+    }
+}
+
+#[test]
+fn golden_mission_is_bit_identical_to_uninstrumented() {
+    let spec = MissionSpec::new(EnvironmentKind::Sparse, 7).with_time_budget(120.0);
+    let runner = MissionRunner::new(spec);
+    let plain = runner.run_golden();
+    let mut sink = MissionTelemetry::new();
+    let observed = runner.run_golden_instrumented(&mut sink);
+    assert_eq!(plain, observed);
+    assert_eq!(sink.counters().ticks, observed.pipeline.ticks);
+}
+
+#[test]
+fn campaign_rollup_is_deterministic_and_inert_across_worker_counts() {
+    let scheme = quick_detectors();
+    let config = quick_campaign();
+
+    // The reference: no telemetry at all.
+    let plain = run_campaign(&config, &scheme, 4).unwrap();
+
+    let mut views = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let (campaign, report) = run_campaign_instrumented(&config, &scheme, workers).unwrap();
+        // Inert: campaign results identical to the uninstrumented run.
+        assert_eq!(campaign, plain, "telemetry must not change results ({workers} workers)");
+        // 1 golden + 3 faults x 3 protection settings.
+        assert_eq!(report.missions, 10);
+        assert!(report.counters.ticks > 0);
+        assert_ne!(report.timeline_digest, 0);
+        // Worker accounting covers every job without inventing any.
+        assert_eq!(report.wall_clock.worker_jobs.iter().sum::<u64>(), 4);
+        views.push(report.deterministic_view());
+    }
+    // The deterministic half of the rollup is identical for every worker
+    // count (the wall-clock half is machine- and scheduling-dependent).
+    assert_eq!(views[0], views[1]);
+    assert_eq!(views[0], views[2]);
+
+    // The rollup serialises and round-trips.
+    let json = serde_json::to_string(&views[0]).unwrap();
+    let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, views[0]);
+}

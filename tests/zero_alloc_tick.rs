@@ -15,6 +15,7 @@ use std::sync::{Mutex, MutexGuard};
 use mavfi_detect::detector_node::{DetectionScheme, DetectorTap};
 use mavfi_detect::prelude::*;
 use mavfi_nn::train::TrainConfig;
+use mavfi_ppc::kernel::KernelId;
 use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline};
 use mavfi_ppc::planning::PlannerAlgorithm;
 use mavfi_ppc::states::{MonitoredStates, StateField, Trajectory};
@@ -23,6 +24,7 @@ use mavfi_sim::env::{Environment, Obstacle};
 use mavfi_sim::geometry::{Aabb, Pose, Vec3};
 use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
 use mavfi_sim::vehicle::QuadrotorState;
+use mavfi_telemetry::MissionTelemetry;
 
 /// System allocator wrapper counting allocations and reallocations — but
 /// only those made by the thread currently registered as *measuring*.  The
@@ -171,6 +173,33 @@ fn allocations_over_ticks(
     allocation_count() - before
 }
 
+/// Like [`allocations_over_ticks`], but with the full telemetry sink
+/// attached: pipeline wall-clock timing on and every tick observed — the
+/// exact per-tick work the instrumented runner does.
+#[allow(clippy::too_many_arguments)]
+fn allocations_over_instrumented_ticks(
+    camera: &DepthCamera,
+    env: &Environment,
+    pipeline: &mut PpcPipeline,
+    tap: &mut dyn mavfi_ppc::tap::StageTap,
+    scratch: &mut CaptureScratch,
+    frame: &mut DepthFrame,
+    sink: &mut MissionTelemetry,
+    ticks: usize,
+) -> u64 {
+    let pose = Pose::new(env.start(), 0.0);
+    let vehicle = QuadrotorState { position: env.start(), ..QuadrotorState::default() };
+    pipeline.set_timing_enabled(true);
+    let before = allocation_count();
+    for index in 0..ticks {
+        camera.capture_into(env, &pose, scratch, frame);
+        let tick = pipeline.tick(frame, &vehicle, 0.1, tap);
+        sink.observe_tick(index as u64, index as f64 * 0.1, &tick, pipeline, None, None);
+        std::hint::black_box(&tick);
+    }
+    allocation_count() - before
+}
+
 #[test]
 fn steady_state_tick_with_noop_tap_allocates_nothing() {
     let env = test_environment();
@@ -283,6 +312,106 @@ fn fault_triggered_replan_allocates_nothing() {
         pipeline.trajectory().path_length() > env.start().distance(env.goal()),
         "the wall must force a detour"
     );
+}
+
+/// The telemetry tentpole property: attaching the full observability stack —
+/// wall-clock kernel timing, histograms, counters and the event timeline —
+/// adds **zero heap allocations** to the steady-state tick.  Everything the
+/// sink touches was preallocated when it was constructed.
+#[test]
+fn steady_state_tick_with_telemetry_allocates_nothing() {
+    let env = test_environment();
+    let config = PpcConfig::new(PlannerAlgorithm::RrtStar, env.bounds(), 7);
+    let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+    let camera = DepthCamera::default();
+    let mut sink = MissionTelemetry::new();
+
+    let _measuring = start_measuring();
+    let mut scratch = CaptureScratch::new();
+    let mut frame = DepthFrame::default();
+    let warmup = allocations_over_instrumented_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut NoopTap,
+        &mut scratch,
+        &mut frame,
+        &mut sink,
+        20,
+    );
+    assert!(warmup > 0, "warm-up is expected to allocate while buffers grow");
+
+    let steady = allocations_over_instrumented_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut NoopTap,
+        &mut scratch,
+        &mut frame,
+        &mut sink,
+        200,
+    );
+    assert_eq!(
+        steady, 0,
+        "steady-state tick with telemetry must not allocate (200 ticks allocated {steady} times)"
+    );
+    // The sink really observed the window: ticks counted, kernel latencies
+    // recorded.
+    assert_eq!(sink.counters().ticks, 220);
+    assert!(sink.kernel_latency(KernelId::OctoMap).count() > 0, "timing must have been recorded");
+}
+
+/// Telemetry stays allocation-free through the *eventful* path too: a
+/// replan on every tick emits Replan (and cache-activity) timeline events,
+/// and the timeline keeps absorbing them without allocating — including
+/// after it fills and switches to counting dropped events.
+#[test]
+fn fault_triggered_replan_with_telemetry_allocates_nothing() {
+    let env = walled_environment();
+    let config = PpcConfig::new(PlannerAlgorithm::AStar, env.bounds(), 3);
+    let mut pipeline = PpcPipeline::new(config, env.start(), env.goal());
+    let camera = DepthCamera::default();
+    // A tiny timeline so the measured window provably crosses the
+    // capacity boundary into the drop-counting regime.
+    let mut sink = MissionTelemetry::with_timeline_capacity(64);
+
+    let _measuring = start_measuring();
+    let mut scratch = CaptureScratch::new();
+    let mut frame = DepthFrame::default();
+    let warmup = allocations_over_instrumented_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut ReplanEveryTick,
+        &mut scratch,
+        &mut frame,
+        &mut sink,
+        20,
+    );
+    assert!(warmup > 0, "warm-up is expected to allocate while buffers grow");
+
+    let steady = allocations_over_instrumented_ticks(
+        &camera,
+        &env,
+        &mut pipeline,
+        &mut ReplanEveryTick,
+        &mut scratch,
+        &mut frame,
+        &mut sink,
+        200,
+    );
+    assert_eq!(
+        steady, 0,
+        "replanning ticks with telemetry must not allocate (allocated {steady} times)"
+    );
+    // Tap-requested replans are recorded as planning-stage recoveries.
+    assert!(
+        sink.counters().recomputations[mavfi_ppc::states::Stage::Planning.index()] >= 200,
+        "every tick must have recomputed the planning stage"
+    );
+    let timeline = sink.timeline();
+    assert_eq!(timeline.events().len(), 64, "the timeline must have filled");
+    assert!(timeline.dropped() > 0, "overflow must have been counted, not stored");
 }
 
 #[test]
