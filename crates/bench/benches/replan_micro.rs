@@ -1,10 +1,12 @@
 //! Microbenchmarks of the replan path: per-planner `plan_into` latency on a
-//! mission-observed occupancy grid (vs the allocating `plan` wrapper), and
-//! the end-to-end throughput of a pipeline forced to replan on every tick —
-//! the fault-triggered recovery workload of the paper's §VI-C.
+//! mission-observed occupancy grid (vs the allocating `plan` wrapper, and —
+//! for the RRT family — vs the O(n) linear nearest/radius scans the pooled
+//! spatial index replaced), and the end-to-end throughput of a pipeline
+//! forced to replan on every tick — the fault-triggered recovery workload
+//! of the paper's §VI-C.
 //!
 //! Records `ns/replan` and `ticks/s` entries to the bench log
-//! (`BENCH_5.json` by default).
+//! (`BENCH_7.json` by default).
 
 use std::time::Instant;
 
@@ -13,7 +15,7 @@ use mavfi::prelude::*;
 use mavfi_bench::bench_log;
 use mavfi_ppc::perception::occupancy::OccupancyGrid;
 use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline};
-use mavfi_ppc::planning::{PlannedPath, PlannerAlgorithm, PlannerConfig};
+use mavfi_ppc::planning::{MotionPlanner, PlannedPath, PlannerAlgorithm, PlannerConfig};
 use mavfi_ppc::states::Trajectory;
 use mavfi_ppc::tap::{NoopTap, StageTap, TapAction};
 use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
@@ -45,31 +47,50 @@ fn observed_replan_problem() -> (OccupancyGrid, Vec3, Vec3) {
     (pipeline.occupancy().clone(), position, goal)
 }
 
+/// Times `iters` warm replans through `plan_into` on one planner instance.
+fn time_plan_into(
+    planner: &mut Box<dyn MotionPlanner + Send>,
+    grid: &OccupancyGrid,
+    start: Vec3,
+    goal: Vec3,
+    warmups: u32,
+    iters: u32,
+) -> f64 {
+    let mut out = PlannedPath::default();
+    for _ in 0..warmups {
+        planner.plan_into(grid, start, goal, &mut out);
+    }
+    let begin = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(planner.plan_into(grid, start, goal, &mut out));
+    }
+    begin.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
 /// Times per-planner replans on the observed grid: the pooled `plan_into`
-/// path and the allocating `plan` wrapper, both on a warm planner instance.
+/// path (spatial index on, the default), the allocating `plan` wrapper, and
+/// — for the three RRT-family planners — `plan_into` with the spatial index
+/// disabled, i.e. the O(n) linear nearest/radius scans it replaced, so the
+/// indexed-vs-linear speedup is part of the committed perf trajectory.
 fn measure_planner_latency(grid: &OccupancyGrid, start: Vec3, goal: Vec3) {
     const ITERS: u32 = 24;
+    /// Linear RRT* replans cost close to a second each; a few iterations
+    /// are enough for a stable mean without stalling the bench run.
+    const LINEAR_STAR_ITERS: u32 = 4;
     let bounds = EnvironmentKind::Dense.build(8).bounds();
     let config = PlannerConfig::for_bounds(bounds).with_seed(8);
+    let note = bench_log::note_or("observed Dense seed-8 grid, warm planner");
     for algorithm in PlannerAlgorithm::EXTENDED {
         let label = format!("{algorithm:?}").to_lowercase();
 
         let mut pooled = algorithm.instantiate(config);
-        let mut out = PlannedPath::default();
-        for _ in 0..3 {
-            pooled.plan_into(grid, start, goal, &mut out);
-        }
-        let begin = Instant::now();
-        for _ in 0..ITERS {
-            std::hint::black_box(pooled.plan_into(grid, start, goal, &mut out));
-        }
-        let pooled_ns = begin.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        let pooled_ns = time_plan_into(&mut pooled, grid, start, goal, 3, ITERS);
         bench_log::record(
             "replan_micro",
             &format!("{label}_plan_into"),
             pooled_ns,
             "ns/replan",
-            &bench_log::note_or("observed Dense seed-8 grid, warm planner"),
+            &note,
         );
 
         let mut allocating = algorithm.instantiate(config);
@@ -86,8 +107,26 @@ fn measure_planner_latency(grid: &OccupancyGrid, start: Vec3, goal: Vec3) {
             &format!("{label}_plan"),
             allocating_ns,
             "ns/replan",
-            &bench_log::note_or("observed Dense seed-8 grid, warm planner"),
+            &note,
         );
+
+        if matches!(
+            algorithm,
+            PlannerAlgorithm::Rrt | PlannerAlgorithm::RrtConnect | PlannerAlgorithm::RrtStar
+        ) {
+            let iters =
+                if algorithm == PlannerAlgorithm::RrtStar { LINEAR_STAR_ITERS } else { ITERS };
+            let mut linear = algorithm.instantiate(config);
+            linear.set_spatial_index_enabled(false);
+            let linear_ns = time_plan_into(&mut linear, grid, start, goal, 1, iters);
+            bench_log::record(
+                "replan_micro",
+                &format!("{label}_plan_into_linear"),
+                linear_ns,
+                "ns/replan",
+                &note,
+            );
+        }
     }
 }
 

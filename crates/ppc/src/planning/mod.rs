@@ -4,6 +4,7 @@
 pub mod astar;
 pub mod frontier;
 pub mod mission;
+pub mod nn_index;
 pub mod rrt;
 pub mod rrt_connect;
 pub mod rrt_star;
@@ -14,6 +15,7 @@ pub mod trajectory_gen;
 pub use astar::AStarPlanner;
 pub use frontier::{CellState, ExplorationCell, ExplorationMap, FrontierPlanner};
 pub use mission::MissionPlan;
+pub use nn_index::NnIndex;
 pub use rrt::Rrt;
 pub use rrt_connect::RrtConnect;
 pub use rrt_star::RrtStar;

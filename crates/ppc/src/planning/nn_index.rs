@@ -1,0 +1,488 @@
+//! Pooled voxel-bucketed spatial index over RRT-family tree nodes.
+//!
+//! The three sampling-based planners ask two questions per iteration:
+//! *which tree node is nearest to this sample?* (every planner) and *which
+//! nodes lie within the rewiring radius of this new node?* (RRT*).  Both
+//! used to be O(n) scans over the whole tree, which made RRT* quadratic in
+//! its iteration budget — a major share (with collision checking) of the
+//! ~856 ms it spent per replan on a mission-observed Dense grid
+//! (`BENCH_5.json`; `BENCH_7.json` has the indexed-vs-linear numbers).
+//!
+//! [`NnIndex`] replaces the scans with a uniform voxel grid over node
+//! positions, keyed by the same deterministic [`VoxelHasher`] convention as
+//! the occupancy grid and sized so one cell edge is the planner's
+//! `step_size` (new nodes land at most one step from an existing node, so
+//! the nearest node is almost always within the first shell searched).  Its
+//! contract is **bit-identical results** to the linear scans it replaces:
+//!
+//! * [`NnIndex::nearest`] returns the node index that minimises the exact
+//!   same `Vec3::distance` the linear scan computes, breaking exact
+//!   distance ties towards the **lowest node index** — precisely the
+//!   "first minimum wins" semantics of `Iterator::min_by` over an
+//!   index-ordered scan.  Cells are searched spiralling outward in
+//!   Chebyshev shells and the search only stops once no unsearched shell
+//!   can contain a strictly closer *or equal-distance lower-index* node.
+//! * [`NnIndex::within_radius`] returns exactly the indices whose positions
+//!   satisfy `position.distance(query) <= radius` (same inclusive
+//!   comparison), sorted ascending — the order an index-ordered linear
+//!   filter produces.
+//!
+//! Storage is pooled per the workspace scratch convention
+//! (`docs/PERFORMANCE.md`): the planner owns one `NnIndex` for the lifetime
+//! of the planner, [`NnIndex::reset`] clears it while keeping every
+//! allocation, and inserts are incremental (no rebuilds, no rebalancing),
+//! so a warm planner's replans touch the allocator only when a tree grows
+//! past all previous high-water marks.  Buckets are intrusive singly-linked
+//! lists (`head` per cell, `next` per node) rather than per-cell `Vec`s, so
+//! clearing the index never drops bucket storage.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use mavfi_sim::geometry::Vec3;
+
+use crate::perception::occupancy::{VoxelHasher, VoxelKey};
+
+/// Sentinel for "no node" in the intrusive bucket lists.
+const NONE: u32 = u32::MAX;
+
+/// Trees smaller than this are scanned linearly inside [`NnIndex::nearest`]:
+/// a linear scan is a branch-predictable ~1 ns/node sweep while a shell walk
+/// costs a few microseconds of cell probing, so the walk only wins once the
+/// tree outgrows the crossover (measured on the `replan_micro` Dense-grid
+/// workload; planners that connect quickly, like RRT-Connect on open grids,
+/// never leave the linear regime).  The result is bit-identical either way —
+/// this is a latency knob, not a behaviour knob.
+const LINEAR_NEAREST_CUTOFF: usize = 2048;
+
+/// A pooled, incrementally built uniform-grid index over points, returning
+/// nearest-neighbour and radius queries bit-identical to linear scans.
+///
+/// Node indices are assigned by insertion order (`0, 1, 2, …`), matching
+/// the planners' tree `Vec` indices.
+///
+/// # Examples
+///
+/// ```
+/// use mavfi_ppc::planning::NnIndex;
+/// use mavfi_sim::geometry::Vec3;
+///
+/// let mut index = NnIndex::new();
+/// index.reset(2.5);
+/// index.insert(Vec3::ZERO);
+/// index.insert(Vec3::new(10.0, 0.0, 0.0));
+/// assert_eq!(index.nearest(Vec3::new(8.0, 0.0, 0.0)), 1);
+/// let mut out = Vec::new();
+/// index.within_radius(Vec3::ZERO, 1.0, &mut out);
+/// assert_eq!(out, [0]);
+/// ```
+#[derive(Debug)]
+pub struct NnIndex {
+    /// Cell edge length (m); planners use their `step_size`.
+    cell_size: f64,
+    /// Cell → index of the most recently inserted node in that cell.
+    heads: HashMap<VoxelKey, u32, BuildHasherDefault<VoxelHasher>>,
+    /// Intrusive per-cell chain: `next[i]` is the node inserted into `i`'s
+    /// cell just before `i` (or [`NONE`]).
+    next: Vec<u32>,
+    /// Node positions in insertion order (the planners' node indices).
+    positions: Vec<Vec3>,
+    /// Bounding box of occupied cells, for clamping shell walks.
+    min_cell: VoxelKey,
+    max_cell: VoxelKey,
+}
+
+impl Default for NnIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NnIndex {
+    /// Creates an empty index with a 1 m cell (call [`NnIndex::reset`] with
+    /// the real cell size before inserting).
+    pub fn new() -> Self {
+        Self {
+            cell_size: 1.0,
+            heads: HashMap::default(),
+            next: Vec::new(),
+            positions: Vec::new(),
+            min_cell: VoxelKey { x: i64::MAX, y: i64::MAX, z: i64::MAX },
+            max_cell: VoxelKey { x: i64::MIN, y: i64::MIN, z: i64::MIN },
+        }
+    }
+
+    /// Clears the index for a new tree, keeping every allocation, and sets
+    /// the cell edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn reset(&mut self, cell_size: f64) {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
+        self.cell_size = cell_size;
+        self.heads.clear();
+        self.next.clear();
+        self.positions.clear();
+        self.min_cell = VoxelKey { x: i64::MAX, y: i64::MAX, z: i64::MAX };
+        self.max_cell = VoxelKey { x: i64::MIN, y: i64::MIN, z: i64::MIN };
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when nothing has been inserted since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The current cell edge length (m).
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    fn key_for(&self, point: Vec3) -> VoxelKey {
+        VoxelKey {
+            x: (point.x / self.cell_size).floor() as i64,
+            y: (point.y / self.cell_size).floor() as i64,
+            z: (point.z / self.cell_size).floor() as i64,
+        }
+    }
+
+    /// Inserts a point and returns its index (insertion order, matching the
+    /// caller's tree indices).
+    pub fn insert(&mut self, position: Vec3) -> usize {
+        debug_assert!(position.is_finite(), "tree nodes are always finite");
+        let index = self.positions.len();
+        assert!(index < NONE as usize, "index capacity exceeded");
+        let key = self.key_for(position);
+        let previous_head = self.heads.insert(key, index as u32).unwrap_or(NONE);
+        self.next.push(previous_head);
+        self.positions.push(position);
+        self.min_cell.x = self.min_cell.x.min(key.x);
+        self.min_cell.y = self.min_cell.y.min(key.y);
+        self.min_cell.z = self.min_cell.z.min(key.z);
+        self.max_cell.x = self.max_cell.x.max(key.x);
+        self.max_cell.y = self.max_cell.y.max(key.y);
+        self.max_cell.z = self.max_cell.z.max(key.z);
+        index
+    }
+
+    /// Considers every node bucketed under `key` as a nearest candidate.
+    fn scan_cell(&self, key: VoxelKey, query: Vec3, best_distance: &mut f64, best: &mut usize) {
+        if key.x < self.min_cell.x
+            || key.x > self.max_cell.x
+            || key.y < self.min_cell.y
+            || key.y > self.max_cell.y
+            || key.z < self.min_cell.z
+            || key.z > self.max_cell.z
+        {
+            return;
+        }
+        let Some(&head) = self.heads.get(&key) else { return };
+        let mut node = head;
+        while node != NONE {
+            let candidate = node as usize;
+            let distance = self.positions[candidate].distance(query);
+            // Lowest-index tie-break: exactly `min_by`'s first-minimum-wins
+            // over an index-ordered scan, independent of bucket chain order.
+            if distance < *best_distance || (distance == *best_distance && candidate < *best) {
+                *best_distance = distance;
+                *best = candidate;
+            }
+            node = self.next[candidate];
+        }
+    }
+
+    /// Visits every cell whose Chebyshev distance (in cells) from `center`
+    /// is exactly `ring`.
+    fn scan_ring(
+        &self,
+        center: VoxelKey,
+        ring: i64,
+        query: Vec3,
+        best_distance: &mut f64,
+        best: &mut usize,
+    ) {
+        if ring == 0 {
+            self.scan_cell(center, query, best_distance, best);
+            return;
+        }
+        // Two full z faces, then the x and y side bands between them; every
+        // shell cell is visited exactly once, in a fixed deterministic order
+        // (the order is irrelevant to the result — `scan_cell` compares
+        // `(distance, index)` explicitly).
+        for dz in [-ring, ring] {
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    let key = VoxelKey { x: center.x + dx, y: center.y + dy, z: center.z + dz };
+                    self.scan_cell(key, query, best_distance, best);
+                }
+            }
+        }
+        for dx in [-ring, ring] {
+            for dy in -ring..=ring {
+                for dz in (-ring + 1)..=(ring - 1) {
+                    let key = VoxelKey { x: center.x + dx, y: center.y + dy, z: center.z + dz };
+                    self.scan_cell(key, query, best_distance, best);
+                }
+            }
+        }
+        for dy in [-ring, ring] {
+            for dx in (-ring + 1)..=(ring - 1) {
+                for dz in (-ring + 1)..=(ring - 1) {
+                    let key = VoxelKey { x: center.x + dx, y: center.y + dy, z: center.z + dz };
+                    self.scan_cell(key, query, best_distance, best);
+                }
+            }
+        }
+    }
+
+    /// Index of the indexed point nearest to `query`; exact distance ties
+    /// resolve to the lowest index (bit-identical to a linear
+    /// `min_by`-over-distance scan in index order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is empty.
+    pub fn nearest(&self, query: Vec3) -> usize {
+        assert!(!self.positions.is_empty(), "nearest query on an empty index");
+        let mut best_distance = f64::INFINITY;
+        let mut best = usize::MAX;
+        if self.positions.len() <= LINEAR_NEAREST_CUTOFF {
+            for (candidate, position) in self.positions.iter().enumerate() {
+                let distance = position.distance(query);
+                if distance < best_distance {
+                    best_distance = distance;
+                    best = candidate;
+                }
+            }
+            return best;
+        }
+
+        let center = self.key_for(query);
+        // Furthest shell that can still contain an occupied cell.
+        let max_ring = [
+            (center.x - self.min_cell.x).max(self.max_cell.x - center.x),
+            (center.y - self.min_cell.y).max(self.max_cell.y - center.y),
+            (center.z - self.min_cell.z).max(self.max_cell.z - center.z),
+        ]
+        .into_iter()
+        .max()
+        .expect("three axes")
+        .max(0);
+
+        // Nearest shell that contains any occupied cell: rings below the
+        // query cell's Chebyshev distance to the occupied bounding box are
+        // entirely out of bounds, so the walk can start there instead of
+        // enumerating O(ring²) empty cells per skipped ring (samples land
+        // far outside the tree early in a plan).
+        let start_ring = [
+            (self.min_cell.x - center.x).max(center.x - self.max_cell.x),
+            (self.min_cell.y - center.y).max(center.y - self.max_cell.y),
+            (self.min_cell.z - center.z).max(center.z - self.max_cell.z),
+        ]
+        .into_iter()
+        .max()
+        .expect("three axes")
+        .max(0);
+
+        for ring in start_ring..=max_ring {
+            // A point in a cell `ring` shells away is at least
+            // `(ring - 1) * cell_size` from the query (which lies inside the
+            // center cell).  Stop only when that lower bound *strictly*
+            // exceeds the best distance: an equal-distance node in a farther
+            // shell could still win the lowest-index tie-break.
+            if best != usize::MAX && ((ring - 1) as f64) * self.cell_size > best_distance {
+                break;
+            }
+            self.scan_ring(center, ring, query, &mut best_distance, &mut best);
+        }
+        debug_assert!(best != usize::MAX, "occupied shells exhausted without a candidate");
+        best
+    }
+
+    /// Collects into `out` the indices of every point with
+    /// `position.distance(query) <= radius` (inclusive, the linear filter's
+    /// exact comparison), sorted ascending — the order an index-ordered
+    /// linear filter produces.  `out` is cleared first (clear-then-fill).
+    pub fn within_radius(&self, query: Vec3, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if self.positions.is_empty() {
+            return;
+        }
+        let lo = self.key_for(query - Vec3::splat(radius));
+        let hi = self.key_for(query + Vec3::splat(radius));
+        let x_range = lo.x.max(self.min_cell.x)..=hi.x.min(self.max_cell.x);
+        let y_range = lo.y.max(self.min_cell.y)..=hi.y.min(self.max_cell.y);
+        let z_range = lo.z.max(self.min_cell.z)..=hi.z.min(self.max_cell.z);
+        // Cells whose axis-aligned box lies strictly beyond `radius` from
+        // the query cannot hold a point passing the inclusive distance test
+        // below, so skipping them is result-preserving.  The bound gets a
+        // relative slack so float rounding in the bound itself can never
+        // out-prune the exact comparison (corner cells of the search box are
+        // most of its volume at this cell-to-radius ratio).
+        let prune_sq = (radius * radius) * (1.0 + 1e-9);
+        let axis_gap_sq = |cell: i64, coordinate: f64| -> f64 {
+            let low = cell as f64 * self.cell_size;
+            let gap = (low - coordinate).max(coordinate - (low + self.cell_size)).max(0.0);
+            gap * gap
+        };
+        for x in x_range {
+            let x_gap_sq = axis_gap_sq(x, query.x);
+            for y in y_range.clone() {
+                let xy_gap_sq = x_gap_sq + axis_gap_sq(y, query.y);
+                if xy_gap_sq > prune_sq {
+                    continue;
+                }
+                for z in z_range.clone() {
+                    if xy_gap_sq + axis_gap_sq(z, query.z) > prune_sq {
+                        continue;
+                    }
+                    let Some(&head) = self.heads.get(&VoxelKey { x, y, z }) else { continue };
+                    let mut node = head;
+                    while node != NONE {
+                        let candidate = node as usize;
+                        if self.positions[candidate].distance(query) <= radius {
+                            out.push(candidate);
+                        }
+                        node = self.next[candidate];
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The linear references the index must agree with bit-for-bit.
+    fn linear_nearest(points: &[Vec3], query: Vec3) -> usize {
+        points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.distance(query).partial_cmp(&b.distance(query)).expect("finite")
+            })
+            .map(|(index, _)| index)
+            .expect("non-empty")
+    }
+
+    fn linear_within(points: &[Vec3], query: Vec3, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(query) <= radius)
+            .map(|(index, _)| index)
+            .collect()
+    }
+
+    /// A deterministic, clumpy point set (clumps force multi-node buckets).
+    fn test_points() -> Vec<Vec3> {
+        let mut points = Vec::new();
+        for i in 0..120_i64 {
+            let f = i as f64;
+            points.push(Vec3::new(
+                (f * 0.73).sin() * 20.0,
+                (f * 1.31).cos() * 15.0,
+                (f * 0.17).sin() * 6.0 + 3.0,
+            ));
+            // A duplicate every 10th point: exact-tie territory.
+            if i % 10 == 0 {
+                points.push(points[i as usize / 2]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan_with_ties() {
+        let points = test_points();
+        let mut index = NnIndex::new();
+        index.reset(2.5);
+        for &point in &points {
+            index.insert(point);
+        }
+        for i in 0..200_i64 {
+            let f = i as f64;
+            let query =
+                Vec3::new((f * 0.91).cos() * 25.0, (f * 0.47).sin() * 18.0, (f * 0.29).cos() * 8.0);
+            assert_eq!(index.nearest(query), linear_nearest(&points, query), "query {i}");
+        }
+        // Query exactly on a duplicated position: the tie must go to the
+        // lower index.
+        let duplicated = points[0];
+        assert_eq!(index.nearest(duplicated), linear_nearest(&points, duplicated));
+    }
+
+    #[test]
+    fn within_radius_matches_linear_filter_order_and_content() {
+        let points = test_points();
+        let mut index = NnIndex::new();
+        index.reset(2.5);
+        for &point in &points {
+            index.insert(point);
+        }
+        let mut out = Vec::new();
+        for i in 0..60_i64 {
+            let f = i as f64;
+            let query =
+                Vec3::new((f * 0.37).sin() * 22.0, (f * 0.83).cos() * 14.0, (f * 0.53).sin() * 7.0);
+            for radius in [0.0, 1.0, 5.0, 12.0] {
+                index.within_radius(query, radius, &mut out);
+                assert_eq!(out, linear_within(&points, query, radius), "query {i} r={radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_keep_agreeing() {
+        let points = test_points();
+        let mut index = NnIndex::new();
+        index.reset(1.5);
+        let mut inserted = Vec::new();
+        let mut out = Vec::new();
+        for &point in &points {
+            index.insert(point);
+            inserted.push(point);
+            let query = point + Vec3::new(0.4, -0.7, 0.2);
+            assert_eq!(index.nearest(query), linear_nearest(&inserted, query));
+            index.within_radius(query, 4.0, &mut out);
+            assert_eq!(out, linear_within(&inserted, query, 4.0));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_changes_cell_size() {
+        let mut index = NnIndex::new();
+        index.reset(2.0);
+        index.insert(Vec3::ZERO);
+        index.insert(Vec3::new(9.0, 0.0, 0.0));
+        assert_eq!(index.len(), 2);
+        index.reset(0.5);
+        assert!(index.is_empty());
+        assert_eq!(index.cell_size(), 0.5);
+        assert_eq!(index.insert(Vec3::new(1.0, 1.0, 1.0)), 0);
+        assert_eq!(index.nearest(Vec3::ZERO), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index")]
+    fn nearest_on_empty_index_panics() {
+        let index = NnIndex::new();
+        let _ = index.nearest(Vec3::ZERO);
+    }
+
+    #[test]
+    fn within_radius_on_empty_index_is_empty() {
+        let index = NnIndex::new();
+        let mut out = vec![7usize];
+        index.within_radius(Vec3::ZERO, 10.0, &mut out);
+        assert!(out.is_empty());
+    }
+}

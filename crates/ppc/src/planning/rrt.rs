@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::kernel::KernelId;
+use crate::planning::nn_index::NnIndex;
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -115,13 +116,17 @@ pub struct Rrt {
     rng: StdRng,
     // Tree storage pooled across `plan` calls (replans reuse the capacity).
     nodes: Vec<TreeNode>,
+    // Pooled spatial index over the tree (bit-identical to the linear
+    // `nearest` scan; `use_index` is the verification knob).
+    index: NnIndex,
+    use_index: bool,
 }
 
 impl Rrt {
     /// Creates an RRT planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng, nodes: Vec::new() }
+        Self { config, rng, nodes: Vec::new(), index: NnIndex::new(), use_index: true }
     }
 
     /// The planner configuration.
@@ -133,6 +138,10 @@ impl Rrt {
 impl MotionPlanner for Rrt {
     fn kernel(&self) -> KernelId {
         KernelId::Rrt
+    }
+
+    fn set_spatial_index_enabled(&mut self, enabled: bool) {
+        self.use_index = enabled;
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
@@ -160,9 +169,17 @@ impl MotionPlanner for Rrt {
 
         self.nodes.clear();
         self.nodes.push(TreeNode { position: start, parent: None });
+        if self.use_index {
+            self.index.reset(self.config.step_size);
+            self.index.insert(start);
+        }
         for _ in 0..self.config.max_iterations {
             let sample = sample_point(&mut self.rng, &self.config, goal);
-            let nearest_index = nearest(&self.nodes, sample);
+            let nearest_index = if self.use_index {
+                self.index.nearest(sample)
+            } else {
+                nearest(&self.nodes, sample)
+            };
             let new_position =
                 steer(self.nodes[nearest_index].position, sample, self.config.step_size);
             if !model.point_free(new_position, self.config.margin)
@@ -175,6 +192,9 @@ impl MotionPlanner for Rrt {
                 continue;
             }
             self.nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
+            if self.use_index {
+                self.index.insert(new_position);
+            }
             let new_index = self.nodes.len() - 1;
 
             if new_position.distance(goal) <= self.config.goal_tolerance

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::kernel::KernelId;
+use crate::planning::nn_index::NnIndex;
 use crate::planning::rrt::{
     nearest, sample_point, steer, trace_leafward_into, trace_path_into, TreeNode,
 };
@@ -27,9 +28,14 @@ use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerC
 pub struct RrtConnect {
     config: PlannerConfig,
     rng: StdRng,
-    // Both trees pooled across `plan` calls (replans reuse the capacity).
+    // Both trees pooled across `plan` calls (replans reuse the capacity),
+    // each paired with its own pooled spatial index (bit-identical to the
+    // linear `nearest` scan; `use_index` is the verification knob).
     start_tree: Vec<TreeNode>,
     goal_tree: Vec<TreeNode>,
+    start_index: NnIndex,
+    goal_index: NnIndex,
+    use_index: bool,
 }
 
 enum ExtendResult {
@@ -42,7 +48,15 @@ impl RrtConnect {
     /// Creates an RRT-Connect planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng, start_tree: Vec::new(), goal_tree: Vec::new() }
+        Self {
+            config,
+            rng,
+            start_tree: Vec::new(),
+            goal_tree: Vec::new(),
+            start_index: NnIndex::new(),
+            goal_index: NnIndex::new(),
+            use_index: true,
+        }
     }
 
     /// The planner configuration.
@@ -54,9 +68,13 @@ impl RrtConnect {
         config: &PlannerConfig,
         model: &dyn ObstacleModel,
         nodes: &mut Vec<TreeNode>,
+        index: Option<&mut NnIndex>,
         target: Vec3,
     ) -> ExtendResult {
-        let nearest_index = nearest(nodes, target);
+        let nearest_index = match &index {
+            Some(index) => index.nearest(target),
+            None => nearest(nodes, target),
+        };
         let new_position = steer(nodes[nearest_index].position, target, config.step_size);
         if !model.point_free(new_position, config.margin)
             || !model.segment_free(nodes[nearest_index].position, new_position, config.margin)
@@ -64,6 +82,9 @@ impl RrtConnect {
             return ExtendResult::Trapped;
         }
         nodes.push(TreeNode { position: new_position, parent: Some(nearest_index) });
+        if let Some(index) = index {
+            index.insert(new_position);
+        }
         let new_index = nodes.len() - 1;
         if new_position.distance(target) <= config.goal_tolerance {
             ExtendResult::Reached(new_index)
@@ -76,11 +97,12 @@ impl RrtConnect {
         config: &PlannerConfig,
         model: &dyn ObstacleModel,
         nodes: &mut Vec<TreeNode>,
+        mut index: Option<&mut NnIndex>,
         target: Vec3,
     ) -> ExtendResult {
         // Keep growing towards the target until trapped or reached.
         loop {
-            match Self::extend(config, model, nodes, target) {
+            match Self::extend(config, model, nodes, index.as_deref_mut(), target) {
                 ExtendResult::Advanced(_) => continue,
                 other => return other,
             }
@@ -91,6 +113,10 @@ impl RrtConnect {
 impl MotionPlanner for RrtConnect {
     fn kernel(&self) -> KernelId {
         KernelId::RrtConnect
+    }
+
+    fn set_spatial_index_enabled(&mut self, enabled: bool) {
+        self.use_index = enabled;
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
@@ -120,19 +146,31 @@ impl MotionPlanner for RrtConnect {
         self.start_tree.push(TreeNode { position: start, parent: None });
         self.goal_tree.clear();
         self.goal_tree.push(TreeNode { position: goal, parent: None });
+        if self.use_index {
+            self.start_index.reset(config.step_size);
+            self.start_index.insert(start);
+            self.goal_index.reset(config.step_size);
+            self.goal_index.insert(goal);
+        }
         let start_tree = &mut self.start_tree;
         let goal_tree = &mut self.goal_tree;
         let mut start_is_a = true;
 
         for _ in 0..config.max_iterations {
             let sample = sample_point(&mut self.rng, &config, goal);
-            let (tree_a, tree_b) = if start_is_a {
-                (&mut *start_tree, &mut *goal_tree)
+            let (tree_a, index_a, tree_b, index_b) = if start_is_a {
+                (&mut *start_tree, &mut self.start_index, &mut *goal_tree, &mut self.goal_index)
             } else {
-                (&mut *goal_tree, &mut *start_tree)
+                (&mut *goal_tree, &mut self.goal_index, &mut *start_tree, &mut self.start_index)
             };
 
-            let extended = match Self::extend(&config, model, tree_a, sample) {
+            let extended = match Self::extend(
+                &config,
+                model,
+                tree_a,
+                self.use_index.then_some(index_a),
+                sample,
+            ) {
                 ExtendResult::Trapped => {
                     start_is_a = !start_is_a;
                     continue;
@@ -141,9 +179,13 @@ impl MotionPlanner for RrtConnect {
             };
             let new_position = tree_a[extended].position;
 
-            if let ExtendResult::Reached(meet_index) =
-                Self::connect(&config, model, tree_b, new_position)
-            {
+            if let ExtendResult::Reached(meet_index) = Self::connect(
+                &config,
+                model,
+                tree_b,
+                self.use_index.then_some(index_b),
+                new_position,
+            ) {
                 // Join: path through tree A to `extended`, then through tree
                 // B from `meet_index` back to its root.
                 let (start_nodes, start_index, goal_nodes, goal_index) = if start_is_a {

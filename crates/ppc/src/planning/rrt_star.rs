@@ -5,8 +5,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::kernel::KernelId;
+use crate::planning::nn_index::NnIndex;
 use crate::planning::rrt::{sample_point, steer, trace_path_into, ParentLinked};
 use crate::planning::space::{MotionPlanner, ObstacleModel, PlannedPath, PlannerConfig};
+
+/// Sentinel for "no node" in the pooled child-link arrays.
+const NONE: u32 = u32::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct StarNode {
@@ -23,6 +27,118 @@ impl ParentLinked for StarNode {
     fn parent(&self) -> Option<usize> {
         self.parent
     }
+}
+
+/// Pooled first-child/next-sibling adjacency mirroring the parent links of
+/// the tree, so a rewire can reach a node's *descendants* without scanning
+/// the whole node array.
+///
+/// Karaman & Frazzoli's rewiring step lowers a neighbour's cost-to-come;
+/// the asymptotic-optimality argument needs that reduction to reach every
+/// node routed *through* the neighbour, because later best-parent choices
+/// and the final goal selection compare those costs.  The sibling list is
+/// doubly linked so moving a node to a new parent (the rewire itself) is
+/// O(1).
+#[derive(Debug, Default)]
+struct ChildLinks {
+    first_child: Vec<u32>,
+    next_sibling: Vec<u32>,
+    prev_sibling: Vec<u32>,
+}
+
+impl ChildLinks {
+    fn clear(&mut self) {
+        self.first_child.clear();
+        self.next_sibling.clear();
+        self.prev_sibling.clear();
+    }
+
+    /// Registers the next node (index = current length), not yet linked
+    /// under any parent.
+    fn push_node(&mut self) {
+        self.first_child.push(NONE);
+        self.next_sibling.push(NONE);
+        self.prev_sibling.push(NONE);
+    }
+
+    /// Links `child` at the head of `parent`'s child list.
+    fn link(&mut self, child: usize, parent: usize) {
+        let head = self.first_child[parent];
+        self.next_sibling[child] = head;
+        self.prev_sibling[child] = NONE;
+        if head != NONE {
+            self.prev_sibling[head as usize] = child as u32;
+        }
+        self.first_child[parent] = child as u32;
+    }
+
+    /// Unlinks `child` from `parent`'s child list.
+    fn unlink(&mut self, child: usize, parent: usize) {
+        let prev = self.prev_sibling[child];
+        let next = self.next_sibling[child];
+        if prev == NONE {
+            self.first_child[parent] = next;
+        } else {
+            self.next_sibling[prev as usize] = next;
+        }
+        if next != NONE {
+            self.prev_sibling[next as usize] = prev;
+        }
+    }
+}
+
+/// Re-derives the cost of every descendant of `root` from its parent's
+/// (already updated) cost, breadth-first in a pooled worklist.
+///
+/// Costs are recomputed as `parent.cost + edge length` — the exact
+/// expression node creation and rewiring use — rather than by adding a
+/// delta, so the `cost = Σ edge lengths along the parent chain` invariant
+/// holds bit-exactly and float error cannot accumulate across successive
+/// rewires.  Traversal order (breadth-first, siblings in child-list order)
+/// is deterministic: it depends only on the tree's edit history, never on
+/// hashing or memory layout — and the costs it writes are order-independent
+/// anyway (each descendant's cost is a pure function of its parent chain).
+fn propagate_subtree_costs(
+    nodes: &mut [StarNode],
+    children: &ChildLinks,
+    root: usize,
+    worklist: &mut Vec<u32>,
+) {
+    worklist.clear();
+    worklist.push(root as u32);
+    let mut cursor = 0;
+    while cursor < worklist.len() {
+        let parent = worklist[cursor] as usize;
+        cursor += 1;
+        let mut child = children.first_child[parent];
+        while child != NONE {
+            let index = child as usize;
+            nodes[index].cost =
+                nodes[parent].cost + nodes[parent].position.distance(nodes[index].position);
+            worklist.push(child);
+            child = children.next_sibling[index];
+        }
+    }
+}
+
+/// Picks the goal connection with the lowest total cost (node cost-to-come
+/// plus the final hop to the goal), evaluated on **final** node costs.
+///
+/// Candidacy is geometric (within goal tolerance, collision-free hop) and
+/// so fixed at node creation; the *cost* of a candidate keeps dropping as
+/// later rewires shorten its parent chain, which is why the total must be
+/// recomputed here rather than captured when the candidate was created.
+/// Ties resolve to the lowest node index (candidates are recorded in
+/// creation order and the comparison is strict).
+fn select_best_goal(nodes: &[StarNode], candidates: &[usize], goal: Vec3) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for &candidate in candidates {
+        let total = nodes[candidate].cost + nodes[candidate].position.distance(goal);
+        if best.map_or(true, |(_, cost)| total < cost) {
+            best = Some((candidate, total));
+        }
+    }
+    best
 }
 
 /// RRT*: the default motion planner of the paper's PPC pipeline.
@@ -46,18 +162,47 @@ impl ParentLinked for StarNode {
 pub struct RrtStar {
     config: PlannerConfig,
     rng: StdRng,
-    // Tree and neighbourhood storage pooled across `plan` calls: the
-    // neighbour list in particular used to be reallocated on every sampling
-    // iteration of every replan.
+    // Everything below is pooled across `plan` calls per the scratch-buffer
+    // convention (docs/PERFORMANCE.md): cleared, never shrunk.
     nodes: Vec<StarNode>,
     neighbours: Vec<usize>,
+    // Spatial index over tree nodes for `nearest` and the rewiring-radius
+    // query (bit-identical to the linear scans; `use_index` is the
+    // verification knob).
+    index: NnIndex,
+    use_index: bool,
+    // Child adjacency + worklist for propagating rewired cost reductions.
+    children: ChildLinks,
+    worklist: Vec<u32>,
+    // Nodes with a verified collision-free hop to the goal.
+    goal_candidates: Vec<usize>,
+    // Parent candidates sorted by prospective cost, so the best-parent scan
+    // can stop at the first collision-free one.
+    parent_candidates: Vec<(f64, u32)>,
+    // `neighbours[i].position.distance(new_position)`, filled alongside
+    // `parent_candidates` and reused by the rewire pass (positions never
+    // move, so the values stay exact; `Vec3::distance` is symmetric
+    // bit-for-bit — negation is exact, the squares are identical).
+    neighbour_distances: Vec<f64>,
 }
 
 impl RrtStar {
     /// Creates an RRT* planner.
     pub fn new(config: PlannerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        Self { config, rng, nodes: Vec::new(), neighbours: Vec::new() }
+        Self {
+            config,
+            rng,
+            nodes: Vec::new(),
+            neighbours: Vec::new(),
+            index: NnIndex::new(),
+            use_index: true,
+            children: ChildLinks::default(),
+            worklist: Vec::new(),
+            goal_candidates: Vec::new(),
+            parent_candidates: Vec::new(),
+            neighbour_distances: Vec::new(),
+        }
     }
 
     /// The planner configuration.
@@ -69,6 +214,10 @@ impl RrtStar {
 impl MotionPlanner for RrtStar {
     fn kernel(&self) -> KernelId {
         KernelId::RrtStar
+    }
+
+    fn set_spatial_index_enabled(&mut self, enabled: bool) {
+        self.use_index = enabled;
     }
 
     fn plan(&mut self, model: &dyn ObstacleModel, start: Vec3, goal: Vec3) -> Option<PlannedPath> {
@@ -95,50 +244,95 @@ impl MotionPlanner for RrtStar {
 
         self.nodes.clear();
         self.nodes.push(StarNode { position: start, parent: None, cost: 0.0 });
+        self.children.clear();
+        self.children.push_node();
+        self.goal_candidates.clear();
+        if self.use_index {
+            self.index.reset(self.config.step_size);
+            self.index.insert(start);
+        }
         let nodes = &mut self.nodes;
         let neighbours = &mut self.neighbours;
-        let mut best_goal: Option<(usize, f64)> = None;
 
         for _ in 0..self.config.max_iterations {
             let sample = sample_point(&mut self.rng, &self.config, goal);
-            let nearest_index = nodes
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.position
-                        .distance(sample)
-                        .partial_cmp(&b.position.distance(sample))
-                        .expect("finite distances")
-                })
-                .map(|(index, _)| index)
-                .expect("tree non-empty");
+            let nearest_index = if self.use_index {
+                self.index.nearest(sample)
+            } else {
+                nodes
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.position
+                            .distance(sample)
+                            .partial_cmp(&b.position.distance(sample))
+                            .expect("finite distances")
+                    })
+                    .map(|(index, _)| index)
+                    .expect("tree non-empty")
+            };
             let new_position = steer(nodes[nearest_index].position, sample, self.config.step_size);
             if !model.point_free(new_position, self.config.margin) {
                 continue;
             }
 
-            // Choose the best parent within the rewiring radius.
-            neighbours.clear();
-            neighbours.extend(
-                nodes
+            // The rewiring neighbourhood, in ascending node-index order
+            // (the linear filter's natural order; the index sorts to match).
+            if self.use_index {
+                self.index.within_radius(new_position, self.config.rewire_radius, neighbours);
+            } else {
+                neighbours.clear();
+                neighbours.extend(
+                    nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, node)| {
+                            node.position.distance(new_position) <= self.config.rewire_radius
+                        })
+                        .map(|(index, _)| index),
+                );
+            }
+
+            // Choose the best parent within the rewiring radius; the
+            // steering node is chained in only when it lies *outside* the
+            // radius (when inside it is already in `neighbours`, and
+            // re-marching `segment_free` for it would double the most
+            // expensive query of the loop for no behavioural difference —
+            // the strict `<` keeps the first evaluation's result).
+            // Sort candidates by prospective cost (ties by sequence
+            // position) and take the first with a collision-free segment:
+            // that candidate minimises `(cost, sequence position)` over the
+            // free candidates, which is exactly what a full scan keeping the
+            // strict-`<` minimum returns — but the expensive `segment_free`
+            // march runs only until the winner is found instead of once per
+            // candidate (the dominant cost of the whole search, ~50
+            // candidates per accepted node on dense grids).
+            let nearest_unlisted = neighbours.binary_search(&nearest_index).is_err();
+            self.parent_candidates.clear();
+            self.neighbour_distances.clear();
+            let neighbour_distances = &mut self.neighbour_distances;
+            self.parent_candidates.extend(
+                neighbours
                     .iter()
+                    .copied()
+                    .chain(nearest_unlisted.then_some(nearest_index))
                     .enumerate()
-                    .filter(|(_, node)| {
-                        node.position.distance(new_position) <= self.config.rewire_radius
-                    })
-                    .map(|(index, _)| index),
+                    .map(|(sequence, candidate)| {
+                        let parent = &nodes[candidate];
+                        let distance = parent.position.distance(new_position);
+                        neighbour_distances.push(distance);
+                        (parent.cost + distance, sequence as u32)
+                    }),
             );
+            self.parent_candidates.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut best_parent = None;
             let mut best_cost = f64::INFINITY;
-            for &candidate in neighbours.iter().chain(std::iter::once(&nearest_index)) {
-                let parent = &nodes[candidate];
-                if !model.segment_free(parent.position, new_position, self.config.margin) {
-                    continue;
-                }
-                let cost = parent.cost + parent.position.distance(new_position);
-                if cost < best_cost {
-                    best_cost = cost;
+            for &(cost, sequence) in &self.parent_candidates {
+                let candidate = neighbours.get(sequence as usize).copied().unwrap_or(nearest_index);
+                if model.segment_free(nodes[candidate].position, new_position, self.config.margin) {
                     best_parent = Some(candidate);
+                    best_cost = cost;
+                    break;
                 }
             }
             let Some(parent_index) = best_parent else { continue };
@@ -148,10 +342,24 @@ impl MotionPlanner for RrtStar {
                 cost: best_cost,
             });
             let new_index = nodes.len() - 1;
+            self.children.push_node();
+            self.children.link(new_index, parent_index);
+            if self.use_index {
+                self.index.insert(new_position);
+            }
 
-            // Rewire neighbours through the new node when cheaper.
-            for &neighbour in neighbours.iter() {
-                let through_new = best_cost + new_position.distance(nodes[neighbour].position);
+            // Rewire neighbours through the new node when cheaper, and
+            // propagate each reduction to the rewired node's descendants:
+            // their costs are sums over parent chains that now include the
+            // cheaper edge, and stale descendant costs would corrupt every
+            // later best-parent choice, rewire decision and the final goal
+            // selection.
+            // Ascending neighbour order, matching the pre-index linear scan:
+            // a rewire's propagation can lower a *later* neighbour's cost
+            // mid-loop, so iteration order is observable.  Costs are read
+            // fresh for the same reason; only the distances are cached.
+            for (position, &neighbour) in neighbours.iter().enumerate() {
+                let through_new = best_cost + self.neighbour_distances[position];
                 if through_new + 1e-9 < nodes[neighbour].cost
                     && model.segment_free(
                         new_position,
@@ -159,23 +367,26 @@ impl MotionPlanner for RrtStar {
                         self.config.margin,
                     )
                 {
+                    let old_parent =
+                        nodes[neighbour].parent.expect("only the root has cost 0 and no parent");
+                    self.children.unlink(neighbour, old_parent);
+                    self.children.link(neighbour, new_index);
                     nodes[neighbour].parent = Some(new_index);
                     nodes[neighbour].cost = through_new;
+                    propagate_subtree_costs(nodes, &self.children, neighbour, &mut self.worklist);
                 }
             }
 
-            // Track the best goal connection found so far.
+            // Record goal candidacy (geometric, so decided once per node);
+            // totals are compared after the iteration budget, on final costs.
             if new_position.distance(goal) <= self.config.goal_tolerance
                 && model.segment_free(new_position, goal, self.config.margin)
             {
-                let total = best_cost + new_position.distance(goal);
-                if best_goal.map_or(true, |(_, cost)| total < cost) {
-                    best_goal = Some((new_index, total));
-                }
+                self.goal_candidates.push(new_index);
             }
         }
 
-        match best_goal {
+        match select_best_goal(nodes, &self.goal_candidates, goal) {
             Some((index, _)) => {
                 trace_path_into(nodes, index, &mut out.waypoints);
                 out.waypoints.push(goal);
@@ -209,6 +420,159 @@ mod tests {
         let a = RrtStar::new(config).plan(&env, env.start(), env.goal());
         let b = RrtStar::new(config).plan(&env, env.start(), env.goal());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexed_and_linear_queries_plan_identical_paths() {
+        for (kind, env_seed) in [
+            (EnvironmentKind::Sparse, 13_u64),
+            (EnvironmentKind::Farm, 2),
+            (EnvironmentKind::Dense, 8),
+        ] {
+            let env = kind.build(env_seed);
+            let config = PlannerConfig::for_bounds(env.bounds()).with_seed(6);
+            let mut indexed = RrtStar::new(config);
+            let mut linear = RrtStar::new(config);
+            linear.set_spatial_index_enabled(false);
+            // Two plans per instance: the second runs over warm pooled
+            // buffers and a stepped RNG.
+            for (start, goal) in [(env.start(), env.goal()), (env.goal(), env.start())] {
+                assert_eq!(
+                    indexed.plan(&env, start, goal),
+                    linear.plan(&env, start, goal),
+                    "{} seed {env_seed} diverged",
+                    env.name()
+                );
+            }
+        }
+    }
+
+    /// Regression for the stale-cost rewiring bug: a hand-built tree where
+    /// the old code (update the rewired neighbour only) provably selects a
+    /// non-optimal goal connection.
+    ///
+    /// Layout (z = 0 everywhere): the root's path to `via` detours through
+    /// `detour`, and `leaf` (the goal candidate) hangs off `via`:
+    ///
+    /// ```text
+    /// root (0,0) ── detour (0,10) ── via (6,8) ── leaf (12,8)   [goal hop]
+    ///          └── cheap (6,4)   ← new node that rewires `via`
+    /// ```
+    #[test]
+    fn rewiring_propagates_cost_reductions_to_descendants() {
+        let root = Vec3::ZERO;
+        let detour = Vec3::new(0.0, 10.0, 0.0);
+        let via = Vec3::new(6.0, 8.0, 0.0);
+        let leaf = Vec3::new(12.0, 8.0, 0.0);
+        let cheap = Vec3::new(6.0, 4.0, 0.0);
+
+        let mut nodes = vec![
+            StarNode { position: root, parent: None, cost: 0.0 },
+            StarNode { position: detour, parent: Some(0), cost: root.distance(detour) },
+            StarNode {
+                position: via,
+                parent: Some(1),
+                cost: root.distance(detour) + detour.distance(via),
+            },
+        ];
+        nodes.push(StarNode {
+            position: leaf,
+            parent: Some(2),
+            cost: nodes[2].cost + via.distance(leaf),
+        });
+        let mut children = ChildLinks::default();
+        for _ in 0..nodes.len() {
+            children.push_node();
+        }
+        children.link(1, 0);
+        children.link(2, 1);
+        children.link(3, 2);
+        let stale_leaf_cost = nodes[3].cost;
+
+        // The new node, wired straight to the root, rewires `via` exactly
+        // as the planner's rewire step does.
+        nodes.push(StarNode { position: cheap, parent: Some(0), cost: root.distance(cheap) });
+        children.push_node();
+        children.link(4, 0);
+        let through_new = nodes[4].cost + cheap.distance(via);
+        assert!(through_new + 1e-9 < nodes[2].cost, "the rewire must be profitable");
+        children.unlink(2, 1);
+        children.link(2, 4);
+        nodes[2].parent = Some(4);
+        nodes[2].cost = through_new;
+        let mut worklist = Vec::new();
+        propagate_subtree_costs(&mut nodes, &children, 2, &mut worklist);
+
+        // The descendant's cost must reflect the rewired chain exactly.
+        let expected_leaf_cost = nodes[2].cost + via.distance(leaf);
+        assert_eq!(nodes[3].cost, expected_leaf_cost, "leaf cost must be re-derived");
+        assert!(
+            nodes[3].cost < stale_leaf_cost,
+            "the reduction must reach the descendant (old code left {stale_leaf_cost})"
+        );
+
+        // And the goal selection must see the reduction: with the stale
+        // leaf cost the old code would report a provably non-optimal total.
+        let goal = Vec3::new(13.0, 8.0, 0.0);
+        let (best, total) =
+            select_best_goal(&nodes, &[3], goal).expect("candidate recorded at creation");
+        assert_eq!(best, 3);
+        assert_eq!(total, expected_leaf_cost + leaf.distance(goal));
+        assert!(total < stale_leaf_cost + leaf.distance(goal));
+    }
+
+    /// The cost invariant the old rewiring code violated on real plans:
+    /// after planning, every node's stored cost must equal its parent's
+    /// cost plus the connecting edge length, bit-exactly.  (Any rewire
+    /// above a node with descendants broke this before the fix.)
+    #[test]
+    fn final_tree_costs_satisfy_the_parent_edge_invariant() {
+        for (kind, env_seed, planner_seed) in [
+            (EnvironmentKind::Sparse, 13_u64, 6_u64),
+            (EnvironmentKind::Sparse, 21, 1),
+            (EnvironmentKind::Dense, 8, 9),
+        ] {
+            let env = kind.build(env_seed);
+            let mut planner =
+                RrtStar::new(PlannerConfig::for_bounds(env.bounds()).with_seed(planner_seed));
+            planner.plan(&env, env.start(), env.goal());
+            assert!(planner.nodes.len() > 50, "the search must have built a real tree");
+            for (index, node) in planner.nodes.iter().enumerate() {
+                let Some(parent) = node.parent else {
+                    assert_eq!(node.cost, 0.0, "root cost");
+                    continue;
+                };
+                let parent_node = &planner.nodes[parent];
+                assert_eq!(
+                    node.cost,
+                    parent_node.cost + parent_node.position.distance(node.position),
+                    "stale cost at node {index} of {}/{env_seed}",
+                    env.name()
+                );
+            }
+        }
+    }
+
+    /// `select_best_goal` evaluates totals on final costs: a candidate whose
+    /// cost dropped after its goal connection was discovered must win over a
+    /// candidate that looked better at discovery time (the old `best_goal`
+    /// captured totals at creation and never revisited them).
+    #[test]
+    fn goal_selection_recomputes_totals_from_final_costs() {
+        let goal = Vec3::new(20.0, 0.0, 0.0);
+        let near = Vec3::new(19.0, 0.0, 0.0);
+        let far = Vec3::new(19.0, 1.0, 0.0);
+        let nodes = vec![
+            StarNode { position: Vec3::ZERO, parent: None, cost: 0.0 },
+            // Discovered first with an (initially) terrible cost that a
+            // later rewire reduced to 19.0 — the state after propagation.
+            StarNode { position: near, parent: Some(0), cost: 19.0 },
+            // Discovered second; never rewired.
+            StarNode { position: far, parent: Some(0), cost: 19.5 },
+        ];
+        let (best, total) = select_best_goal(&nodes, &[1, 2], goal).expect("two candidates");
+        assert_eq!(best, 1, "the rewired candidate must win on its final cost");
+        assert_eq!(total, 19.0 + near.distance(goal));
     }
 
     #[test]

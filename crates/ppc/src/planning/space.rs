@@ -163,6 +163,19 @@ pub trait MotionPlanner {
             }
         }
     }
+
+    /// Enables or disables the planner's pooled spatial index
+    /// ([`NnIndex`](crate::planning::NnIndex)) for nearest-neighbour and
+    /// rewiring-radius queries.
+    ///
+    /// The index is on by default and **inert**: indexed queries are
+    /// bit-identical to the O(n) linear scans they replace (same distances,
+    /// same lowest-index tie-breaks), so toggling it never changes a planned
+    /// path — only how fast it is found.  Disabling it is the verification
+    /// knob used by the equivalence tests and the `replan_micro` bench's
+    /// indexed-vs-linear records.  Takes effect at the next `plan` /
+    /// `plan_into` call.  Planners without such an index (A*) ignore it.
+    fn set_spatial_index_enabled(&mut self, _enabled: bool) {}
 }
 
 /// The planner algorithms evaluated by the paper, plus the deterministic A*

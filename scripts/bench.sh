@@ -8,8 +8,8 @@
 #   note     free-form tag attached to every recorded entry (defaults to the
 #            current git revision), e.g. ./scripts/bench.sh post-refactor
 #   outfile  bench log to append to (defaults to $MAVFI_BENCH_LOG if set,
-#            otherwise BENCH_6.json), e.g.
-#            ./scripts/bench.sh post-refactor BENCH_7.json
+#            otherwise BENCH_7.json), e.g.
+#            ./scripts/bench.sh post-refactor BENCH_8.json
 #
 # The script runs the four instrumented bench targets in quick mode:
 #   - fig3_kernel_sensitivity  -> ticks/sec + ns/tick of the golden closed loop
@@ -22,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NOTE="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo untagged)}"
-LOG="${2:-${MAVFI_BENCH_LOG:-BENCH_6.json}}"
+LOG="${2:-${MAVFI_BENCH_LOG:-BENCH_7.json}}"
 # The bench harness resolves a relative MAVFI_BENCH_LOG against *its* working
 # directory (crates/bench); anchor the log to the repository root instead.
 case "$LOG" in

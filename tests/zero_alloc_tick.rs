@@ -451,6 +451,80 @@ fn steady_state_tick_with_aad_detector_allocates_nothing() {
     );
 }
 
+/// The spatial-index pooling property: once one reset → insert → query
+/// cycle has grown the bucket map, chain table and position store to
+/// capacity, an identical cycle on the same [`NnIndex`] instance performs
+/// **zero heap allocations** — the lifecycle every warm `plan_into` call
+/// runs.
+#[test]
+fn warm_nn_index_cycle_allocates_nothing() {
+    use mavfi_ppc::planning::NnIndex;
+
+    // Deterministic point cloud, no RNG: a coarse lattice walk that spreads
+    // across many cells while revisiting some (multi-entry bucket chains).
+    fn point(step: usize) -> Vec3 {
+        let t = step as f64;
+        Vec3::new((t * 0.713).sin() * 20.0, (t * 0.292).cos() * 20.0, (t * 0.177).sin() * 6.0)
+    }
+
+    fn run_cycle(index: &mut NnIndex, out: &mut Vec<usize>) -> usize {
+        index.reset(1.5);
+        let mut sink = 0;
+        for step in 0..400 {
+            index.insert(point(step));
+            let query = point(step) + Vec3::new(0.4, -0.2, 0.1);
+            sink += index.nearest(query);
+            index.within_radius(query, 3.0, out);
+            sink += out.len();
+        }
+        sink
+    }
+
+    let mut index = NnIndex::new();
+    let mut out = Vec::new();
+
+    let _measuring = start_measuring();
+    let warm_sink = run_cycle(&mut index, &mut out);
+
+    let before = allocation_count();
+    let steady_sink = run_cycle(&mut index, &mut out);
+    let allocated = allocation_count() - before;
+    assert_eq!(allocated, 0, "warm reset+insert+query cycle allocated {allocated} times");
+    assert_eq!(steady_sink, warm_sink, "the warm cycle must repeat the cold one exactly");
+}
+
+/// The planner-level pooling property the spatial index must preserve: warm
+/// RRT* replans — tree growth, indexed nearest/radius queries, rewiring cost
+/// propagation, goal selection — perform **zero heap allocations**.  The
+/// vendored RNG makes the whole replan sequence deterministic per seed, so
+/// the warm-up provably grows every pooled buffer (including the index's
+/// bucket map and chain table) past the measured window's high-water mark.
+#[test]
+fn warm_rrt_star_replans_allocate_nothing() {
+    use mavfi_ppc::planning::{PlannedPath, PlannerAlgorithm, PlannerConfig};
+
+    let env = walled_environment();
+    let mut planner =
+        PlannerAlgorithm::RrtStar.instantiate(PlannerConfig::for_bounds(env.bounds()).with_seed(5));
+    let mut out = PlannedPath::default();
+
+    let _measuring = start_measuring();
+    let before_warmup = allocation_count();
+    for _ in 0..60 {
+        std::hint::black_box(planner.plan_into(&env, env.start(), env.goal(), &mut out));
+    }
+    let warmup = allocation_count() - before_warmup;
+    assert!(warmup > 0, "warm-up is expected to allocate while buffers grow");
+
+    let before = allocation_count();
+    for _ in 0..120 {
+        let path = planner.plan_into(&env, env.start(), env.goal(), &mut out);
+        assert!(path, "the walled world is always solvable");
+    }
+    let allocated = allocation_count() - before;
+    assert_eq!(allocated, 0, "120 warm RRT* replans allocated {allocated} times");
+}
+
 #[test]
 fn aad_score_iteration_with_scratch_allocates_nothing() {
     let detector = trained_aad();
