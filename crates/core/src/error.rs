@@ -22,6 +22,8 @@ pub enum MavfiError {
     Io(std::io::Error),
     /// Serialising a report failed.
     Serialization(serde_json::Error),
+    /// A mission trace failed to parse, verify or decompress.
+    Trace(mavfi_middleware::trace::TraceError),
 }
 
 impl fmt::Display for MavfiError {
@@ -33,6 +35,7 @@ impl fmt::Display for MavfiError {
             }
             Self::Io(err) => write!(f, "i/o failure: {err}"),
             Self::Serialization(err) => write!(f, "report serialization failed: {err}"),
+            Self::Trace(err) => write!(f, "mission trace error: {err}"),
         }
     }
 }
@@ -42,6 +45,7 @@ impl Error for MavfiError {
         match self {
             Self::Io(err) => Some(err),
             Self::Serialization(err) => Some(err),
+            Self::Trace(err) => Some(err),
             _ => None,
         }
     }
@@ -56,6 +60,12 @@ impl From<std::io::Error> for MavfiError {
 impl From<serde_json::Error> for MavfiError {
     fn from(err: serde_json::Error) -> Self {
         Self::Serialization(err)
+    }
+}
+
+impl From<mavfi_middleware::trace::TraceError> for MavfiError {
+    fn from(err: mavfi_middleware::trace::TraceError) -> Self {
+        Self::Trace(err)
     }
 }
 

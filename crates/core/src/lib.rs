@@ -40,8 +40,10 @@ pub mod error;
 pub mod exec;
 pub mod experiments;
 pub mod qof;
+pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod trace;
 pub mod training;
 
 pub use campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign, SettingResult};
@@ -52,7 +54,9 @@ pub use exec::{
     WorkerPool,
 };
 pub use qof::{QofMetrics, QofSummary};
+pub use replay::{ReplayDivergence, ReplayHarness, ReplayReport};
 pub use runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+pub use trace::{DetectorProvenance, MissionTrace, TraceMeta, TraceTopic};
 pub use training::{train_detectors, train_detectors_in};
 
 /// Commonly used items, suitable for glob import.
@@ -65,8 +69,10 @@ pub mod prelude {
         TrainedDetectorCache, WorkerPool,
     };
     pub use crate::qof::{QofMetrics, QofSummary};
+    pub use crate::replay::{ReplayDivergence, ReplayHarness, ReplayReport};
     pub use crate::report::TextTable;
     pub use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+    pub use crate::trace::{DetectorProvenance, MissionTrace, TraceMeta, TraceTopic};
     pub use crate::training::{train_detectors, train_detectors_in};
 
     pub use mavfi_detect::prelude::*;

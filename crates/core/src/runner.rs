@@ -12,7 +12,7 @@ use mavfi_ppc::states::{CollisionEstimate, PointCloud, Trajectory};
 use mavfi_ppc::tap::{StageTap, TapAction};
 use mavfi_sim::energy::PowerModel;
 use mavfi_sim::geometry::Vec3;
-use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
+use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame, RayHits};
 use mavfi_sim::vehicle::FlightCommand;
 use mavfi_sim::world::{MissionStatus, World};
 use mavfi_telemetry::MissionTelemetry;
@@ -21,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::{MissionSpec, Protection};
 use crate::error::MavfiError;
 use crate::qof::QofMetrics;
+use crate::trace::{DetectorProvenance, MissionTrace, TraceCapture, TraceMeta};
 
 /// Detectors trained on error-free telemetry, shared across campaign runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,9 +56,35 @@ impl MissionOutcome {
 
 /// Composite tap: fault injector first (corrupting states in flight), then
 /// the detector (observing exactly what the downstream kernels would see).
-struct MissionTap {
-    injector: Option<FaultInjector>,
-    detector: Option<DetectorTap>,
+/// Shared with the replay harness, which rebuilds the identical tap from a
+/// trace's metadata.
+pub(crate) struct MissionTap {
+    pub(crate) injector: Option<FaultInjector>,
+    pub(crate) detector: Option<DetectorTap>,
+}
+
+/// Builds the detector tap for a protection scheme — the one place the
+/// scheme→detector wiring lives, shared by the runner and the replay
+/// harness so both construct identical taps.
+pub(crate) fn detector_tap(
+    protection: Protection,
+    detectors: Option<&TrainedDetectors>,
+) -> Result<Option<DetectorTap>, MavfiError> {
+    match protection {
+        Protection::None => Ok(None),
+        Protection::Gaussian => {
+            let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
+                scheme: protection.label().to_owned(),
+            })?;
+            Ok(Some(DetectorTap::new(DetectionScheme::Gaussian(detectors.gad.clone()))))
+        }
+        Protection::Autoencoder => {
+            let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
+                scheme: protection.label().to_owned(),
+            })?;
+            Ok(Some(DetectorTap::new(DetectionScheme::Autoencoder(detectors.aad.clone()))))
+        }
+    }
 }
 
 impl StageTap for MissionTap {
@@ -142,7 +169,7 @@ impl MissionRunner {
 
     /// Runs an error-free mission with no protection (a "golden run").
     pub fn run_golden(&self) -> MissionOutcome {
-        self.run_internal(None, None, None, None)
+        self.run_internal(None, None, None, None, None)
     }
 
     /// Runs a golden run while feeding the telemetry sink each tick:
@@ -150,13 +177,13 @@ impl MissionRunner {
     /// is observed.  Results are bit-identical to [`Self::run_golden`] —
     /// the sink only reads.
     pub fn run_golden_instrumented(&self, sink: &mut MissionTelemetry) -> MissionOutcome {
-        self.run_internal(None, None, None, Some(sink))
+        self.run_internal(None, None, None, Some(sink), None)
     }
 
     /// Runs an error-free mission while recording preprocessed telemetry
     /// into `telemetry` (used to train the detectors).
     pub fn run_collecting_telemetry(&self, telemetry: &mut TelemetrySet) -> MissionOutcome {
-        let outcome = self.run_internal(None, None, Some(telemetry), None);
+        let outcome = self.run_internal(None, None, Some(telemetry), None, None);
         telemetry.end_mission();
         outcome
     }
@@ -201,22 +228,61 @@ impl MissionRunner {
         detectors: Option<&TrainedDetectors>,
         sink: Option<&mut MissionTelemetry>,
     ) -> Result<MissionOutcome, MavfiError> {
-        let detector_tap = match protection {
-            Protection::None => None,
-            Protection::Gaussian => {
-                let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
-                    scheme: protection.label().to_owned(),
-                })?;
-                Some(DetectorTap::new(DetectionScheme::Gaussian(detectors.gad.clone())))
-            }
-            Protection::Autoencoder => {
-                let detectors = detectors.ok_or_else(|| MavfiError::MissingDetectors {
-                    scheme: protection.label().to_owned(),
-                })?;
-                Some(DetectorTap::new(DetectionScheme::Autoencoder(detectors.aad.clone())))
-            }
+        let detector = detector_tap(protection, detectors)?;
+        Ok(self.run_internal(fault.map(FaultInjector::new), detector, None, sink, None))
+    }
+
+    /// Runs an error-free, unprotected mission while recording its full
+    /// closed-loop topic traffic into a [`MissionTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavfiError::Serialization`] if the trace metadata cannot
+    /// be encoded (never expected for well-formed specs).
+    pub fn run_golden_recorded(&self) -> Result<(MissionOutcome, MissionTrace), MavfiError> {
+        self.run_recorded(None, Protection::None, None, None)
+    }
+
+    /// Runs a mission — optionally fault-injected and protected — while
+    /// recording its closed-loop topic traffic into a [`MissionTrace`]:
+    /// per-tick vehicle states and depth rays (inputs), commands, monitored
+    /// states, tick flags, planned paths, detector verdicts and the fault
+    /// record (outputs).  The outcome is bit-identical to [`Self::run`]'s.
+    ///
+    /// Pass `provenance` when the trace should be self-contained: the
+    /// replay harness then retrains bit-identical detectors via the global
+    /// [`TrainedDetectorCache`](crate::exec::TrainedDetectorCache) instead
+    /// of requiring them to be supplied at replay time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavfiError::MissingDetectors`] under the same conditions
+    /// as [`Self::run`].
+    pub fn run_recorded(
+        &self,
+        fault: Option<FaultSpec>,
+        protection: Protection,
+        detectors: Option<&TrainedDetectors>,
+        provenance: Option<DetectorProvenance>,
+    ) -> Result<(MissionOutcome, MissionTrace), MavfiError> {
+        let detector = detector_tap(protection, detectors)?;
+        let meta = TraceMeta {
+            spec: self.spec,
+            protection,
+            fault,
+            camera: DepthCamera::default(),
+            detectors: provenance,
         };
-        Ok(self.run_internal(fault.map(FaultInjector::new), detector_tap, None, sink))
+        let mut capture = TraceCapture::new(&meta)?;
+        let outcome = self.run_internal(
+            fault.map(FaultInjector::new),
+            detector,
+            None,
+            None,
+            Some(&mut capture),
+        );
+        let trace = capture.finish(&outcome.qof, outcome.pipeline.ticks);
+        Ok((outcome, trace))
     }
 
     fn run_internal(
@@ -225,6 +291,7 @@ impl MissionRunner {
         detector: Option<DetectorTap>,
         mut telemetry: Option<&mut TelemetrySet>,
         mut sink: Option<&mut MissionTelemetry>,
+        mut capture: Option<&mut TraceCapture>,
     ) -> MissionOutcome {
         let spec = self.spec;
         let environment = spec.environment.build(spec.seed);
@@ -244,17 +311,45 @@ impl MissionRunner {
         // preallocated at sink construction.
         let mut frame = DepthFrame::default();
         let mut capture_scratch = CaptureScratch::new();
+        let mut ray_hits = RayHits::default();
         let mut tick_index: u64 = 0;
         while world.status() == MissionStatus::InProgress {
-            camera.capture_into(
-                world.environment(),
-                &world.vehicle().pose(),
-                &mut capture_scratch,
-                &mut frame,
-            );
-            let tick = pipeline.tick(&frame, &world.vehicle().state(), dt, &mut tap);
+            let sim_time = world.elapsed();
+            let pose = world.vehicle().pose();
+            let state = world.vehicle().state();
+            if capture.is_some() {
+                // Record the frame in (ray, t) form and resolve it back:
+                // the pipeline consumes exactly the point cloud a replay
+                // will reconstruct from the trace, so both sides are
+                // bit-identical by construction (`resolve_rays` is itself
+                // bit-identical to `capture_into`).
+                camera.capture_rays_into(
+                    world.environment(),
+                    &pose,
+                    &mut capture_scratch,
+                    &mut ray_hits,
+                );
+                camera.resolve_rays(&pose, &ray_hits, &mut frame);
+            } else {
+                camera.capture_into(world.environment(), &pose, &mut capture_scratch, &mut frame);
+            }
+            if let Some(capture) = capture.as_deref_mut() {
+                capture.record_inputs(tick_index, sim_time, &state, &ray_hits);
+            }
+            let tick = pipeline.tick(&frame, &state, dt, &mut tap);
             if let Some(telemetry) = telemetry.as_deref_mut() {
                 telemetry.record(&tick.monitored);
+            }
+            if let Some(capture) = capture.as_deref_mut() {
+                capture.record_outputs(
+                    tick_index,
+                    sim_time,
+                    &tick,
+                    pipeline.trajectory(),
+                    pipeline.trajectory_revision(),
+                    tap.detector.as_ref().map(|detector| detector.stats()),
+                    tap.injector.as_ref().and_then(|injector| injector.record()),
+                );
             }
             world.step(&tick.command, dt);
             if let Some(sink) = sink.as_deref_mut() {
@@ -315,6 +410,34 @@ mod tests {
         let b = MissionRunner::new(spec).run_golden();
         assert_eq!(a.qof, b.qof);
         assert_eq!(a.trail, b.trail);
+    }
+
+    #[test]
+    fn recorded_golden_run_is_bit_identical_and_replays() {
+        let spec = quick_spec(EnvironmentKind::Sparse, 3);
+        let (outcome, trace) = MissionRunner::new(spec).run_golden_recorded().unwrap();
+        // Recording is observational: same outcome as the unrecorded run.
+        let baseline = MissionRunner::new(spec).run_golden();
+        assert_eq!(outcome.qof, baseline.qof);
+        assert_eq!(outcome.trail, baseline.trail);
+        // And the trace replays bit-identically without the sim.
+        let report = crate::replay::ReplayHarness::new(&trace).replay().unwrap();
+        assert!(report.is_match(), "diverged: {:?}", report.divergence);
+        assert_eq!(report.ticks, outcome.pipeline.ticks);
+        assert_eq!(report.status, Some(MissionStatus::Succeeded));
+        assert_eq!(report.qof.map(|qof| qof.flight_time_s), Some(outcome.qof.flight_time_s));
+    }
+
+    #[test]
+    fn recorded_fault_run_replays_bit_identically() {
+        let spec = quick_spec(EnvironmentKind::Sparse, 5);
+        let fault = FaultSpec::new(InjectionTarget::Stage(Stage::Planning), 20, 123);
+        let (outcome, trace) = MissionRunner::new(spec)
+            .run_recorded(Some(fault), Protection::None, None, None)
+            .unwrap();
+        assert!(outcome.fault.is_some());
+        let report = crate::replay::ReplayHarness::new(&trace).replay().unwrap();
+        assert!(report.is_match(), "diverged: {:?}", report.divergence);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod record;
 pub mod registry;
 pub mod service;
 pub mod topic;
+pub mod trace;
 
 pub use clock::SimClock;
 pub use error::MiddlewareError;
@@ -44,6 +45,7 @@ pub use record::{RecordEntry, Recorder, DEFAULT_RECORD_CAPACITY};
 pub use registry::{NodeInfo, Registry};
 pub use service::{ServiceClient, ServiceServer};
 pub use topic::{Bus, Publisher, Subscriber};
+pub use trace::{TopicDecl, TraceError, TraceReader, TraceRecordRef, TraceSummary, TraceWriter};
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
@@ -55,4 +57,5 @@ pub mod prelude {
     pub use crate::record::{RecordEntry, Recorder};
     pub use crate::registry::{NodeInfo, Registry};
     pub use crate::topic::{Bus, Publisher, Subscriber};
+    pub use crate::trace::{TopicDecl, TraceError, TraceReader, TraceWriter};
 }

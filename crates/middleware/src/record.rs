@@ -1,10 +1,17 @@
 //! A rosbag-like recorder capturing every publication on a [`Bus`](crate::Bus).
+//!
+//! [`Recorder`] keeps a bounded, human-readable tail for interactive
+//! inspection.  The lossless capture path — [`TraceWriter`]/[`TraceReader`]
+//! with a versioned binary format and digest verification — lives in
+//! [`crate::trace`] and is re-exported here.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+
+pub use crate::trace::{TraceReader, TraceWriter};
 
 /// One recorded publication.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,15 +122,48 @@ impl Recorder {
         }
         let mut summary = summary.into();
         if summary.len() > SUMMARY_LIMIT {
-            summary.truncate(SUMMARY_LIMIT);
+            // `String::truncate` panics off a char boundary, and `Debug`
+            // renderings routinely carry multi-byte glyphs — back off to the
+            // nearest boundary at or below the limit instead.
+            let mut end = SUMMARY_LIMIT;
+            while !summary.is_char_boundary(end) {
+                end -= 1;
+            }
+            summary.truncate(end);
         }
         state.entries.push_back(RecordEntry { seq, topic: topic.to_owned(), stamp, summary });
     }
 
     /// Returns a copy of every retained entry in publication order (oldest
     /// retained first).
+    ///
+    /// This clones the whole ring; prefer [`Recorder::for_each_entry`] or
+    /// [`Recorder::with_entries`] when inspecting without keeping a copy.
     pub fn entries(&self) -> Vec<RecordEntry> {
-        self.state.lock().entries.iter().cloned().collect()
+        self.with_entries(|entries| entries.cloned().collect())
+    }
+
+    /// Visits every retained entry by reference, oldest retained first,
+    /// without cloning the ring.
+    ///
+    /// The ring's lock is held for the duration of the walk (the lock is not
+    /// reentrant, so don't call back into this recorder from `visit`).
+    pub fn for_each_entry(&self, mut visit: impl FnMut(&RecordEntry)) {
+        self.with_entries(|entries| entries.for_each(&mut visit));
+    }
+
+    /// Runs `inspect` over an iterator of the retained entries (oldest
+    /// retained first) under the ring's lock and returns its result —
+    /// allocation-free snapshot access for counts, scans and folds.
+    ///
+    /// The lock is held while `inspect` runs (not reentrant: don't call back
+    /// into this recorder from the closure).
+    pub fn with_entries<R>(
+        &self,
+        inspect: impl FnOnce(&mut dyn Iterator<Item = &RecordEntry>) -> R,
+    ) -> R {
+        let state = self.state.lock();
+        inspect(&mut state.entries.iter())
     }
 
     /// Number of retained entries.
@@ -148,7 +188,7 @@ impl Recorder {
 
     /// Number of retained entries recorded for a single topic.
     pub fn count_for_topic(&self, topic: &str) -> usize {
-        self.state.lock().entries.iter().filter(|entry| entry.topic == topic).count()
+        self.with_entries(|entries| entries.filter(|entry| entry.topic == topic).count())
     }
 
     /// Removes all retained entries.  Sequence numbering and the dropped
@@ -179,6 +219,39 @@ mod tests {
         let recorder = Recorder::new();
         recorder.record("t", Duration::ZERO, "z".repeat(1000));
         assert_eq!(recorder.entries()[0].summary.len(), SUMMARY_LIMIT);
+    }
+
+    #[test]
+    fn truncates_multibyte_summaries_on_char_boundaries() {
+        let recorder = Recorder::new();
+        // 'λ' is two bytes: 120 of them put byte SUMMARY_LIMIT (160) mid-char,
+        // which used to panic in String::truncate.
+        recorder.record("t", Duration::ZERO, "λ".repeat(120));
+        let summary = &recorder.entries()[0].summary;
+        assert!(summary.len() <= SUMMARY_LIMIT);
+        assert_eq!(summary.chars().count(), 80);
+        // Four-byte glyphs back off further than one byte.
+        recorder.record("t", Duration::ZERO, "🛸".repeat(50));
+        let summary = &recorder.entries()[1].summary;
+        assert!(summary.len() <= SUMMARY_LIMIT);
+        assert!(summary.chars().all(|c| c == '🛸'));
+    }
+
+    #[test]
+    fn by_ref_accessors_match_cloned_entries() {
+        let recorder = Recorder::with_capacity(4);
+        for index in 0..6u64 {
+            let topic = if index % 2 == 0 { "imu" } else { "cmd" };
+            recorder.record(topic, Duration::from_secs(index), format!("m{index}"));
+        }
+        let cloned = recorder.entries();
+        let mut walked = Vec::new();
+        recorder.for_each_entry(|entry| walked.push(entry.clone()));
+        assert_eq!(walked, cloned);
+        let first_seq = recorder.with_entries(|entries| entries.next().map(|e| e.seq));
+        assert_eq!(first_seq, Some(cloned[0].seq));
+        assert_eq!(recorder.count_for_topic("imu"), 2);
+        assert_eq!(recorder.count_for_topic("cmd"), 2);
     }
 
     #[test]

@@ -17,6 +17,31 @@ pub struct DepthFrame {
     pub rays_cast: usize,
 }
 
+/// A depth-camera frame in hit-parameter form: for each ray that struck an
+/// obstacle, the ray's frame index and the hit parameter `t` along it.
+///
+/// This is the compact, record-friendly dual of [`DepthFrame`]: given the
+/// same [`DepthCamera`] and [`Pose`], [`DepthCamera::resolve_rays`] rebuilds
+/// the exact world-frame point cloud (`origin + direction(ray) * t`,
+/// bit-identical) — which is what lets mission traces store ~10 bytes per
+/// hit instead of three `f64` coordinates.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RayHits {
+    /// Total number of rays cast for this frame (hits plus misses).
+    pub rays_cast: usize,
+    /// `(ray_index, t)` per hit, in ray order.  `ray_index` is
+    /// `vi * horizontal_rays + hi` for the row-major scan the camera casts.
+    pub hits: Vec<(u32, f64)>,
+}
+
+impl RayHits {
+    /// Removes all hits, keeping the buffer.
+    pub fn clear(&mut self) {
+        self.rays_cast = 0;
+        self.hits.clear();
+    }
+}
+
 /// A pin-hole style depth camera simulated by ray casting against the
 /// environment's obstacle set.
 ///
@@ -109,6 +134,77 @@ impl DepthCamera {
         frame.points.clear();
         frame.rays_cast = self.ray_count();
         let origin = pose.position;
+        self.cast_rays(env, pose, scratch, |_, direction, t| {
+            frame.points.push(origin + direction * t);
+        });
+    }
+
+    /// Captures a frame in hit-parameter form: the same rays as
+    /// [`DepthCamera::capture_into`], recording `(ray_index, t)` per hit
+    /// instead of the world-frame point.  [`DepthCamera::resolve_rays`] is
+    /// the exact inverse back to the point cloud.
+    pub fn capture_rays_into(
+        &self,
+        env: &Environment,
+        pose: &Pose,
+        scratch: &mut CaptureScratch,
+        rays: &mut RayHits,
+    ) {
+        rays.clear();
+        rays.rays_cast = self.ray_count();
+        self.cast_rays(env, pose, scratch, |ray, _, t| {
+            rays.hits.push((ray, t));
+        });
+    }
+
+    /// Reconstructs the point cloud a capture from `pose` produced, given
+    /// its hit parameters.  Because the ray direction is recomputed by the
+    /// same function the capture used, the points are **bit-identical** to
+    /// [`DepthCamera::capture_into`]'s — this is the replay path that takes
+    /// the simulator (and its obstacle set) out of the loop.
+    pub fn resolve_rays(&self, pose: &Pose, rays: &RayHits, frame: &mut DepthFrame) {
+        frame.points.clear();
+        frame.rays_cast = rays.rays_cast;
+        let origin = pose.position;
+        for &(ray, t) in &rays.hits {
+            let hi = ray as usize % self.horizontal_rays;
+            let vi = ray as usize / self.horizontal_rays;
+            let direction = self.ray_direction(pose.yaw, hi, vi);
+            frame.points.push(origin + direction * t);
+        }
+    }
+
+    /// Direction of the ray at scan position (`hi`, `vi`) for a camera yawed
+    /// to `pose_yaw` — the single source of truth shared by capture and
+    /// replay so both produce bit-identical geometry.
+    #[inline]
+    fn ray_direction(&self, pose_yaw: f64, hi: usize, vi: usize) -> Vec3 {
+        let v_frac = if self.vertical_rays > 1 {
+            vi as f64 / (self.vertical_rays - 1) as f64 - 0.5
+        } else {
+            0.0
+        };
+        let pitch = v_frac * self.vertical_fov;
+        let h_frac = if self.horizontal_rays > 1 {
+            hi as f64 / (self.horizontal_rays - 1) as f64 - 0.5
+        } else {
+            0.0
+        };
+        let yaw = pose_yaw + h_frac * self.horizontal_fov;
+        Vec3::new(yaw.cos() * pitch.cos(), yaw.sin() * pitch.cos(), pitch.sin())
+    }
+
+    /// Broad-phase culls the obstacle set, then casts every ray, invoking
+    /// `on_hit(ray_index, direction, t)` for each ray that strikes an
+    /// obstacle within range.
+    fn cast_rays(
+        &self,
+        env: &Environment,
+        pose: &Pose,
+        scratch: &mut CaptureScratch,
+        mut on_hit: impl FnMut(u32, Vec3, f64),
+    ) {
+        let origin = pose.position;
 
         // Broad-phase cull.  The behind-the-camera test is only valid when
         // every ray direction has a non-negative component along the camera
@@ -147,21 +243,8 @@ impl DepthCamera {
 
         let obstacles = env.obstacles();
         for vi in 0..self.vertical_rays {
-            let v_frac = if self.vertical_rays > 1 {
-                vi as f64 / (self.vertical_rays - 1) as f64 - 0.5
-            } else {
-                0.0
-            };
-            let pitch = v_frac * self.vertical_fov;
             for hi in 0..self.horizontal_rays {
-                let h_frac = if self.horizontal_rays > 1 {
-                    hi as f64 / (self.horizontal_rays - 1) as f64 - 0.5
-                } else {
-                    0.0
-                };
-                let yaw = pose.yaw + h_frac * self.horizontal_fov;
-                let direction =
-                    Vec3::new(yaw.cos() * pitch.cos(), yaw.sin() * pitch.cos(), pitch.sin());
+                let direction = self.ray_direction(pose.yaw, hi, vi);
                 let mut nearest: Option<f64> = None;
                 for &index in &scratch.visible {
                     if let Some(t) = obstacles[index].aabb.ray_intersection(origin, direction) {
@@ -171,7 +254,7 @@ impl DepthCamera {
                     }
                 }
                 if let Some(t) = nearest {
-                    frame.points.push(origin + direction * t);
+                    on_hit((vi * self.horizontal_rays + hi) as u32, direction, t);
                 }
             }
         }
@@ -285,6 +368,37 @@ mod tests {
         // Looking away from the obstacle sees nothing.
         let behind = camera.capture(&env, &Pose::new(env.start(), std::f64::consts::PI));
         assert!(behind.points.is_empty());
+    }
+
+    #[test]
+    fn ray_capture_resolves_to_bit_identical_points() {
+        for (kind, seed, yaw) in [
+            (EnvironmentKind::Sparse, 3, 0.0),
+            (EnvironmentKind::Dense, 8, 0.7),
+            (EnvironmentKind::Randomized, 11, -2.1),
+        ] {
+            let env = kind.build(seed);
+            let camera = DepthCamera::default();
+            let pose = Pose::new(env.start() + Vec3::new(1.0, 0.5, 0.25), yaw);
+            let mut scratch = CaptureScratch::new();
+
+            let mut direct = DepthFrame::default();
+            camera.capture_into(&env, &pose, &mut scratch, &mut direct);
+
+            let mut rays = RayHits::default();
+            camera.capture_rays_into(&env, &pose, &mut scratch, &mut rays);
+            assert_eq!(rays.rays_cast, direct.rays_cast);
+            assert_eq!(rays.hits.len(), direct.points.len());
+
+            let mut resolved = DepthFrame::default();
+            camera.resolve_rays(&pose, &rays, &mut resolved);
+            assert_eq!(resolved.rays_cast, direct.rays_cast);
+            for (a, b) in resolved.points.iter().zip(&direct.points) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Regenerate or verify the committed golden-trace store (`tests/golden/`).
+//!
+//! Run with:
+//!
+//! - `cargo run --release --example retrace` — re-record every trace in the
+//!   manifest and write it into `tests/golden/`, reporting which files
+//!   changed relative to the committed bytes.
+//! - `cargo run --release --example retrace -- --verify` — load the
+//!   committed traces, replay each one without the sim in the loop, and
+//!   exit non-zero on any divergence, digest mismatch or missing file.
+//!
+//! `scripts/retrace.sh` wraps the first form; `scripts/check.sh` runs the
+//! second as the replay gate. See `docs/REPLAY.md` for the workflow.
+
+use std::time::Instant;
+
+use mavfi_suite::golden::{manifest, GoldenTraceSpec, GOLDEN_DIR};
+use mavfi_suite::prelude::*;
+
+fn describe(spec: &GoldenTraceSpec) -> String {
+    let fault = match spec.fault {
+        Some(fault) => format!("fault@{}", fault.trigger_tick),
+        None => "golden".to_string(),
+    };
+    format!("{:?} seed {} {} protection {:?}", spec.environment, spec.seed, fault, spec.protection)
+}
+
+fn regenerate() -> Result<(), MavfiError> {
+    std::fs::create_dir_all(GOLDEN_DIR).map_err(MavfiError::Io)?;
+    let mut changed = 0usize;
+    for spec in manifest() {
+        let started = Instant::now();
+        let (outcome, trace) = spec.record()?;
+        let path = spec.path();
+        let bytes = trace.to_bytes();
+        let previous = std::fs::read(&path).ok();
+        let same = previous.as_deref() == Some(bytes.as_slice());
+        if !same {
+            std::fs::write(&path, &bytes).map_err(MavfiError::Io)?;
+            changed += 1;
+        }
+        println!(
+            "  {:<32} {:<44} {:>6} ticks  {:>7} bytes  digest {:016x}  {:>5.1}s  {}",
+            spec.file,
+            describe(&spec),
+            outcome.pipeline.ticks,
+            bytes.len(),
+            trace.stream_digest()?,
+            started.elapsed().as_secs_f64(),
+            if same { "unchanged" } else { "written" }
+        );
+    }
+    println!("Recorded {} trace(s), {} changed.", manifest().len(), changed);
+    Ok(())
+}
+
+fn verify() -> Result<usize, MavfiError> {
+    let mut failures = 0usize;
+    for spec in manifest() {
+        let started = Instant::now();
+        let trace = match MissionTrace::load(spec.path()) {
+            Ok(trace) => trace,
+            Err(err) => {
+                println!("  {:<32} FAILED to load: {err}", spec.file);
+                failures += 1;
+                continue;
+            }
+        };
+        let report = match ReplayHarness::new(&trace).replay() {
+            Ok(report) => report,
+            Err(err) => {
+                println!("  {:<32} FAILED to replay: {err}", spec.file);
+                failures += 1;
+                continue;
+            }
+        };
+        if report.is_match() {
+            println!(
+                "  {:<32} ok: {} ticks, output digest {:016x}, {:.1}s",
+                spec.file,
+                report.ticks,
+                report.replayed_output_digest,
+                started.elapsed().as_secs_f64()
+            );
+        } else {
+            match &report.divergence {
+                Some(divergence) => println!(
+                    "  {:<32} DIVERGED at tick {} topic {}: {}",
+                    spec.file,
+                    divergence.tick,
+                    divergence.topic.name(),
+                    divergence.detail
+                ),
+                None => println!(
+                    "  {:<32} DIGEST MISMATCH: recorded {:016x} replayed {:016x}",
+                    spec.file, report.recorded_output_digest, report.replayed_output_digest
+                ),
+            }
+            failures += 1;
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> Result<(), MavfiError> {
+    let verify_mode = std::env::args().any(|arg| arg == "--verify");
+    if verify_mode {
+        println!("Verifying the committed golden-trace store ({GOLDEN_DIR})...");
+        let failures = verify()?;
+        if failures > 0 {
+            println!("{failures} golden trace(s) failed verification.");
+            std::process::exit(1);
+        }
+        println!("All golden traces replay bit-identically.");
+    } else {
+        println!("Regenerating the golden-trace store into {GOLDEN_DIR}/ ...");
+        regenerate()?;
+    }
+    Ok(())
+}

@@ -8,13 +8,14 @@
 #   note     free-form tag attached to every recorded entry (defaults to the
 #            current git revision), e.g. ./scripts/bench.sh post-refactor
 #   outfile  bench log to append to (defaults to $MAVFI_BENCH_LOG if set,
-#            otherwise BENCH_7.json), e.g.
-#            ./scripts/bench.sh post-refactor BENCH_8.json
+#            otherwise BENCH_8.json), e.g.
+#            ./scripts/bench.sh post-refactor BENCH_9.json
 #
-# The script runs the four instrumented bench targets in quick mode:
+# The script runs the five instrumented bench targets in quick mode:
 #   - fig3_kernel_sensitivity  -> ticks/sec + ns/tick of the golden closed loop
 #   - detector_micro           -> ns/score of the AAD reconstruction error
 #   - replan_micro             -> ns/replan per planner + forced-replan ticks/sec
+#   - replay_micro             -> record-overhead + ppc-only replay ticks/sec
 #   - table2_overhead          -> ticks/sec of an AAD-protected mission
 # Full campaigns (paper tables/figures) are skipped; drop MAVFI_BENCH_QUICK
 # below to include them.
@@ -22,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NOTE="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo untagged)}"
-LOG="${2:-${MAVFI_BENCH_LOG:-BENCH_7.json}}"
+LOG="${2:-${MAVFI_BENCH_LOG:-BENCH_8.json}}"
 # The bench harness resolves a relative MAVFI_BENCH_LOG against *its* working
 # directory (crates/bench); anchor the log to the repository root instead.
 case "$LOG" in
@@ -41,6 +42,7 @@ echo "==> bench.sh note='$NOTE' log='$LOG' (quick mode, 1 worker)"
 cargo bench -q --offline -p mavfi-bench --bench fig3_kernel_sensitivity
 cargo bench -q --offline -p mavfi-bench --bench detector_micro
 cargo bench -q --offline -p mavfi-bench --bench replan_micro
+cargo bench -q --offline -p mavfi-bench --bench replay_micro
 cargo bench -q --offline -p mavfi-bench --bench table2_overhead
 
 echo "==> appended entries to $LOG:"

@@ -26,6 +26,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 echo "==> telemetry_report example smoke run"
 cargo run --release --offline -q --example telemetry_report >/dev/null
 
+echo "==> golden traces replay bit-identically (retrace --verify)"
+cargo run --release --offline -q --example retrace -- --verify >/dev/null
+
 echo "==> markdown relative links resolve (README.md, docs/, CHANGES.md)"
 broken=0
 for file in README.md CHANGES.md docs/*.md; do

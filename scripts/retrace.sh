@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate the committed golden-trace store (tests/golden/*.mvt) from the
+# manifest in src/golden.rs, then verify that every freshly written trace
+# replays bit-identically without the sim in the loop.
+#
+# Run this after an intentional behaviour change breaks the replay gate
+# (tests/replay_golden.rs or `scripts/check.sh`), review the diff, and
+# commit the regenerated traces together with the change that caused them.
+#
+# Usage: ./scripts/retrace.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -q --example retrace
+cargo run --release --offline -q --example retrace -- --verify
+
+echo "Golden-trace store regenerated; review 'git diff --stat tests/golden'."

@@ -1,0 +1,145 @@
+//! The committed golden-trace store: which missions `tests/golden/` holds
+//! and how to (re)record them.
+//!
+//! One manifest drives both sides — `examples/retrace.rs` regenerates (or
+//! verifies) the store and `tests/replay_golden.rs` gates on it — so the
+//! two can never disagree about what a golden trace contains.  See
+//! `docs/REPLAY.md` for the workflow.
+
+use mavfi::prelude::*;
+use mavfi::replay::{ReplayHarness, ReplayReport};
+use mavfi::trace::DetectorProvenance;
+
+/// Repository-relative directory holding the committed traces.
+pub const GOLDEN_DIR: &str = "tests/golden";
+
+/// Mission time budget shared by every golden trace: long enough for the
+/// chosen missions to finish, short enough that regeneration stays quick.
+pub const GOLDEN_TIME_BUDGET: f64 = 150.0;
+
+/// One entry of the golden-trace store.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenTraceSpec {
+    /// File name inside [`GOLDEN_DIR`].
+    pub file: &'static str,
+    /// Environment the mission flies in.
+    pub environment: EnvironmentKind,
+    /// Mission seed.
+    pub seed: u64,
+    /// Injected fault, if any.
+    pub fault: Option<FaultSpec>,
+    /// Active protection scheme.
+    pub protection: Protection,
+}
+
+impl GoldenTraceSpec {
+    /// The mission specification this trace records.
+    pub fn mission(&self) -> MissionSpec {
+        MissionSpec::new(self.environment, self.seed).with_time_budget(GOLDEN_TIME_BUDGET)
+    }
+
+    /// Repository-relative path of the trace file.
+    pub fn path(&self) -> String {
+        format!("{GOLDEN_DIR}/{}", self.file)
+    }
+
+    /// Records this trace (training detectors through the process-wide
+    /// cache when the scheme needs them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MavfiError`] from the recording runner.
+    pub fn record(&self) -> Result<(MissionOutcome, MissionTrace), MavfiError> {
+        let runner = MissionRunner::new(self.mission());
+        match self.protection {
+            Protection::None => runner.run_recorded(self.fault, self.protection, None, None),
+            _ => {
+                let provenance = detector_provenance();
+                let detectors = TrainedDetectorCache::global()
+                    .get_or_train(provenance.environment, &provenance.training);
+                runner.run_recorded(self.fault, self.protection, Some(&detectors), Some(provenance))
+            }
+        }
+    }
+
+    /// Loads the committed trace and replays it without the sim in the
+    /// loop (detectors retrain from the trace's provenance when needed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MavfiError`] from loading or replaying.
+    pub fn replay_committed(&self) -> Result<ReplayReport, MavfiError> {
+        let trace = MissionTrace::load(self.path())?;
+        ReplayHarness::new(&trace).replay()
+    }
+}
+
+/// The detector training convention golden protected traces embed as
+/// [`DetectorProvenance`]: the quick-training setup the detection test
+/// suite shares through the process-wide cache.
+pub fn detector_provenance() -> DetectorProvenance {
+    DetectorProvenance {
+        environment: EnvironmentKind::Randomized,
+        training: TrainingSpec {
+            missions: 2,
+            base_seed: 640,
+            mission_time_budget: 30.0,
+            epochs: 10,
+        },
+    }
+}
+
+/// The planning-stage fault every fault-injected golden trace uses.
+fn planning_fault() -> FaultSpec {
+    FaultSpec::new(InjectionTarget::Stage(Stage::Planning), 25, 11)
+}
+
+/// The golden-trace store manifest: golden and fault-injected missions in
+/// Sparse and Dense environments, unprotected and under both detection
+/// schemes.
+pub fn manifest() -> Vec<GoldenTraceSpec> {
+    vec![
+        GoldenTraceSpec {
+            file: "sparse_s3_golden.mvt",
+            environment: EnvironmentKind::Sparse,
+            seed: 3,
+            fault: None,
+            protection: Protection::None,
+        },
+        GoldenTraceSpec {
+            file: "sparse_s8_golden.mvt",
+            environment: EnvironmentKind::Sparse,
+            seed: 8,
+            fault: None,
+            protection: Protection::None,
+        },
+        GoldenTraceSpec {
+            file: "dense_s8_golden.mvt",
+            environment: EnvironmentKind::Dense,
+            seed: 8,
+            fault: None,
+            protection: Protection::None,
+        },
+        GoldenTraceSpec {
+            file: "sparse_s5_fault_planning.mvt",
+            environment: EnvironmentKind::Sparse,
+            seed: 5,
+            fault: Some(planning_fault()),
+            protection: Protection::None,
+        },
+        GoldenTraceSpec {
+            file: "sparse_s5_fault_gaussian.mvt",
+            environment: EnvironmentKind::Sparse,
+            seed: 5,
+            fault: Some(planning_fault()),
+            protection: Protection::Gaussian,
+        },
+        GoldenTraceSpec {
+            file: "sparse_s5_fault_autoencoder.mvt",
+            environment: EnvironmentKind::Sparse,
+            seed: 5,
+            fault: Some(planning_fault()),
+            protection: Protection::Autoencoder,
+        },
+    ]
+}

@@ -36,7 +36,14 @@ pub mod docs {
     /// the deterministic event timeline and campaign rollups.
     #[doc = include_str!("../docs/OBSERVABILITY.md")]
     pub mod observability {}
+
+    /// `docs/REPLAY.md`: the mission trace format, the record/replay
+    /// determinism contract and the golden-trace store workflow.
+    #[doc = include_str!("../docs/REPLAY.md")]
+    pub mod replay {}
 }
+
+pub mod golden;
 
 pub use mavfi;
 pub use mavfi_detect;
