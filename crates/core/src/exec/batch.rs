@@ -1,0 +1,488 @@
+//! Batched lockstep mission execution: structure-of-arrays state for many
+//! missions stepped tick-by-tick together, with one matrix-matrix detector
+//! pass per batch and per stage.
+//!
+//! A [`MissionBatch`] owns N missions sharing trained detectors and steps
+//! them in lockstep through the split tick API of
+//! [`PpcPipeline`](mavfi_ppc::pipeline::PpcPipeline): every mission runs the
+//! same pipeline stage before any mission runs the next one.  Between
+//! stages, the autoencoder delta vectors of every batched mission are scored
+//! in a single [`AadDetector::score_batch_with`] matrix-matrix pass instead
+//! of one matvec per mission, and missions sharing an environment share one
+//! broad-phase depth-capture cull (plus the frame itself while their poses
+//! coincide — the common case for the injected/Gaussian/autoencoder triple
+//! of one campaign fault before the fault fires).
+//!
+//! Results are **bit-identical** to running each mission alone through
+//! [`MissionRunner`](crate::runner::MissionRunner), for every batch
+//! composition: per-mission state never crosses mission boundaries, the
+//! shared scorer is read-only, per-tap alarm counters are updated through
+//! the same `record_score` path the sequential hooks use, and a mission that
+//! diverges (replans, recovers, or dies) simply keeps consuming its own
+//! columns without perturbing batch-mates.  `tests/batch_equivalence.rs`
+//! asserts this across seeds, environments, fault stages, batch sizes and
+//! worker counts.
+
+use mavfi_detect::detector_node::DetectorTap;
+use mavfi_detect::AadBatchScratch;
+use mavfi_fault::injector::{FaultInjector, FaultSpec};
+use mavfi_ppc::pipeline::{PpcConfig, PpcPipeline, TickInFlight};
+use mavfi_ppc::states::MonitoredStates;
+use mavfi_ppc::tap::{StageTap, TapAction};
+use mavfi_sim::energy::PowerModel;
+use mavfi_sim::env::EnvironmentKind;
+use mavfi_sim::geometry::Pose;
+use mavfi_sim::sensors::{CaptureScratch, DepthCamera, DepthFrame};
+use mavfi_sim::vehicle::QuadrotorState;
+use mavfi_sim::world::{MissionStatus, World};
+
+use crate::config::{MissionSpec, Protection};
+use crate::error::MavfiError;
+use crate::qof::QofMetrics;
+use crate::runner::{detector_tap, MissionOutcome, MissionTap, TrainedDetectors};
+
+/// One mission of a batch: the specification plus its fault/protection
+/// setting (the same inputs [`MissionRunner::run`](crate::runner::MissionRunner::run)
+/// takes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMission {
+    /// The mission specification.
+    pub spec: MissionSpec,
+    /// The fault to inject, if any.
+    pub fault: Option<FaultSpec>,
+    /// The protection scheme supervising the mission.
+    pub protection: Protection,
+}
+
+impl BatchMission {
+    /// An error-free, unprotected mission (a golden run).
+    pub fn golden(spec: MissionSpec) -> Self {
+        Self { spec, fault: None, protection: Protection::None }
+    }
+}
+
+/// Per-mission state that is *not* shared across the batch: the simulated
+/// world, the PPC pipeline and the stage tap.  Everything iterated over in
+/// lockstep lives in the parallel column vectors of [`MissionBatch`] so the
+/// borrow of one member never conflicts with its columns.
+struct Member {
+    world: World,
+    pipeline: PpcPipeline,
+    tap: MissionTap,
+    dt: f64,
+}
+
+/// N missions stepped in lockstep with batched detector scoring and shared
+/// depth-capture culling.  See the module docs for the execution model.
+pub struct MissionBatch {
+    camera: DepthCamera,
+    /// Read-only clone of the trained AAD network used to score every
+    /// batched delta vector; per-tap counters stay on each tap's own
+    /// detector via `record_score`, so sharing it is observationally
+    /// identical to per-mission scoring.
+    scorer: Option<mavfi_detect::AadDetector>,
+    members: Vec<Member>,
+    // ---- structure-of-arrays columns, indexed like `members` ----
+    frames: Vec<DepthFrame>,
+    poses: Vec<Pose>,
+    states: Vec<QuadrotorState>,
+    alive: Vec<bool>,
+    ticks: Vec<u64>,
+    outcomes: Vec<Option<MissionOutcome>>,
+    inflight: Vec<Option<TickInFlight>>,
+    /// The injector half of a deferred stage verdict, merged with the
+    /// batched detector verdict in the finish pass.
+    pending: Vec<TapAction>,
+    // ---- shared scratch ----
+    /// Members grouped by `(environment kind, seed)`: identical geometry,
+    /// so one broad-phase cull serves the whole group.
+    groups: Vec<Vec<usize>>,
+    group_alive: Vec<usize>,
+    group_poses: Vec<Pose>,
+    scratch: CaptureScratch,
+    deltas: Vec<[f64; MonitoredStates::DIM]>,
+    scored: Vec<usize>,
+    aad_scratch: AadBatchScratch,
+}
+
+impl std::fmt::Debug for MissionBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MissionBatch")
+            .field("missions", &self.members.len())
+            .field("alive", &self.alive.iter().filter(|&&alive| alive).count())
+            .finish()
+    }
+}
+
+impl MissionBatch {
+    /// Builds a batch over `missions`, validating each mission's protection
+    /// scheme in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavfiError::MissingDetectors`] — for the lowest-indexed
+    /// offending mission, exactly like running the missions sequentially —
+    /// if a protected mission is requested without trained detectors.
+    pub fn new(
+        missions: &[BatchMission],
+        detectors: Option<&TrainedDetectors>,
+    ) -> Result<Self, MavfiError> {
+        let mut members = Vec::with_capacity(missions.len());
+        let mut scorer = None;
+        for mission in missions {
+            let detector = detector_tap(mission.protection, detectors)?;
+            if scorer.is_none() && detector.as_ref().is_some_and(DetectorTap::is_autoencoder) {
+                scorer =
+                    Some(detectors.expect("autoencoder tap implies trained detectors").aad.clone());
+            }
+            let spec = mission.spec;
+            let environment = spec.environment.build(spec.seed);
+            let ppc_config = PpcConfig::new(spec.planner, environment.bounds(), spec.seed);
+            let pipeline = PpcPipeline::new(ppc_config, environment.start(), environment.goal());
+            let world = World::new(environment, spec.vehicle, PowerModel::default(), spec.mission);
+            members.push(Member {
+                world,
+                pipeline,
+                tap: MissionTap { injector: mission.fault.map(FaultInjector::new), detector },
+                dt: spec.control_period,
+            });
+        }
+
+        let mut keyed: Vec<((EnvironmentKind, u64), Vec<usize>)> = Vec::new();
+        for (index, mission) in missions.iter().enumerate() {
+            let key = (mission.spec.environment, mission.spec.seed);
+            match keyed.iter_mut().find(|(existing, _)| *existing == key) {
+                Some((_, group)) => group.push(index),
+                None => keyed.push((key, vec![index])),
+            }
+        }
+
+        let count = missions.len();
+        Ok(Self {
+            camera: DepthCamera::default(),
+            scorer,
+            members,
+            frames: vec![DepthFrame::default(); count],
+            poses: vec![Pose::default(); count],
+            states: vec![QuadrotorState::default(); count],
+            alive: vec![true; count],
+            ticks: vec![0; count],
+            outcomes: (0..count).map(|_| None).collect(),
+            inflight: vec![None; count],
+            pending: vec![TapAction::Continue; count],
+            groups: keyed.into_iter().map(|(_, group)| group).collect(),
+            group_alive: Vec::new(),
+            group_poses: Vec::new(),
+            scratch: CaptureScratch::new(),
+            deltas: Vec::with_capacity(count),
+            scored: Vec::with_capacity(count),
+            aad_scratch: AadBatchScratch::new(),
+        })
+    }
+
+    /// Number of missions in the batch.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of missions still in progress.
+    pub fn alive(&self) -> usize {
+        self.alive.iter().filter(|&&alive| alive).count()
+    }
+
+    /// Ticks flown so far by mission `index`.
+    pub fn ticks(&self, index: usize) -> u64 {
+        self.ticks[index]
+    }
+
+    /// Advances every in-progress mission by one lockstep tick and returns
+    /// the number of missions still in progress afterwards.
+    ///
+    /// The tick walks all missions through each pipeline stage together:
+    /// shared-environment depth capture, perception, planning, control,
+    /// then world stepping — with one batched autoencoder scoring pass per
+    /// stage covering every mission whose detector observes that stage.
+    pub fn tick_batch(&mut self) -> usize {
+        let count = self.members.len();
+
+        // ---- Refresh the pose/state columns; retire worlds that are
+        // already out of progress (a zero-budget spec never ticks, exactly
+        // like the sequential loop). ----
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            if self.members[index].world.status() != MissionStatus::InProgress {
+                self.finish_member(index);
+                continue;
+            }
+            let vehicle = self.members[index].world.vehicle();
+            self.poses[index] = vehicle.pose();
+            self.states[index] = vehicle.state();
+        }
+
+        // ---- Depth capture: one broad-phase cull per environment group
+        // (the union cull is conservative per pose, so the narrow phase is
+        // bit-identical), and one narrow phase per *distinct* pose — a
+        // member whose pose equals an earlier batch-mate's reuses the
+        // frame outright. ----
+        for group_index in 0..self.groups.len() {
+            self.group_alive.clear();
+            self.group_alive.extend(
+                self.groups[group_index].iter().copied().filter(|&index| self.alive[index]),
+            );
+            if self.group_alive.is_empty() {
+                continue;
+            }
+            self.group_poses.clear();
+            self.group_poses.extend(self.group_alive.iter().map(|&index| self.poses[index]));
+            let env = self.members[self.group_alive[0]].world.environment();
+            self.camera.cull_batch_into(env, &self.group_poses, &mut self.scratch);
+            for position in 0..self.group_alive.len() {
+                let index = self.group_alive[position];
+                let duplicate = self.group_alive[..position]
+                    .iter()
+                    .copied()
+                    .find(|&earlier| self.poses[earlier] == self.poses[index]);
+                match duplicate {
+                    // `earlier < index`: group indices ascend.
+                    Some(earlier) => {
+                        let (left, right) = self.frames.split_at_mut(index);
+                        right[0].clone_from(&left[earlier]);
+                    }
+                    None => self.camera.capture_culled_into(
+                        env,
+                        &self.poses[index],
+                        &self.scratch,
+                        &mut self.frames[index],
+                    ),
+                }
+            }
+        }
+
+        // ---- Begin: perception kernels up to the collision estimate. ----
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, tap, .. } = &mut self.members[index];
+            self.inflight[index] =
+                Some(pipeline.begin_tick(&self.frames[index], &self.states[index], tap));
+        }
+
+        self.perception_stage(count);
+        self.planning_stage(count);
+        self.control_stage(count);
+
+        // ---- Finish: mission bookkeeping, world stepping, retirement. ----
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { world, pipeline, dt, .. } = &mut self.members[index];
+            let dt = *dt;
+            let tick = self.inflight[index].take().expect("tick in flight");
+            let out = pipeline.finish_tick(tick, &self.states[index]);
+            world.step(&out.command, dt);
+            self.ticks[index] += 1;
+            if world.status() != MissionStatus::InProgress {
+                self.finish_member(index);
+            }
+        }
+
+        self.alive()
+    }
+
+    /// Runs every mission to completion and returns the outcomes in batch
+    /// order, each bit-identical to the corresponding sequential
+    /// [`MissionRunner::run`](crate::runner::MissionRunner::run).
+    pub fn run_to_completion(mut self) -> Vec<MissionOutcome> {
+        while self.tick_batch() > 0 {}
+        self.outcomes.into_iter().map(|outcome| outcome.expect("all missions finished")).collect()
+    }
+
+    fn finish_member(&mut self, index: usize) {
+        self.alive[index] = false;
+        let Member { world, pipeline, tap, .. } = &self.members[index];
+        self.outcomes[index] = Some(MissionOutcome {
+            qof: QofMetrics {
+                status: world.status(),
+                flight_time_s: world.elapsed(),
+                energy_j: world.energy_joules(),
+                distance_m: world.distance_travelled(),
+            },
+            trail: world.trail().to_vec(),
+            fault: tap.injector.as_ref().and_then(|injector| injector.record().cloned()),
+            detector: tap.detector.as_ref().map(|detector| detector.stats().clone()),
+            pipeline: pipeline.stats().clone(),
+        });
+    }
+
+    fn perception_stage(&mut self, count: usize) {
+        self.scored.clear();
+        self.deltas.clear();
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, tap, .. } = &mut self.members[index];
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let mut action = TapAction::Continue;
+            if let Some(injector) = tap.injector.as_mut() {
+                action = action.merge(injector.after_perception(&mut tick.estimate));
+            }
+            if let Some(detector) = tap.detector.as_mut() {
+                if detector.is_autoencoder() {
+                    let deltas = detector
+                        .begin_perception(&tick.estimate)
+                        .expect("the autoencoder observes every perception stage");
+                    self.pending[index] = action;
+                    self.deltas.push(deltas);
+                    self.scored.push(index);
+                    continue;
+                }
+                action = action.merge(detector.after_perception(&mut tick.estimate));
+            }
+            pipeline.apply_perception_action(tick, &self.states[index], action);
+        }
+        if self.scored.is_empty() {
+            return;
+        }
+        let scorer = self.scorer.as_ref().expect("scored members imply a shared scorer");
+        // One matrix-matrix pass over every collected delta vector.  The
+        // scorer is read-only; borrowing it and the scratch field-wise keeps
+        // the member mutations below legal.
+        let scores = scorer.score_batch_with(&self.deltas, &mut self.aad_scratch);
+        for (position, &index) in self.scored.iter().enumerate() {
+            let Member { pipeline, tap, .. } = &mut self.members[index];
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let detector = tap.detector.as_mut().expect("scored member has a detector");
+            let action = self.pending[index]
+                .merge(detector.finish_perception(scores[position], &mut tick.estimate));
+            pipeline.apply_perception_action(tick, &self.states[index], action);
+        }
+    }
+
+    fn planning_stage(&mut self, count: usize) {
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, .. } = &mut self.members[index];
+            pipeline.planning_stage(self.inflight[index].as_mut().expect("tick in flight"));
+        }
+        self.scored.clear();
+        self.deltas.clear();
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, tap, .. } = &mut self.members[index];
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let MissionTap { injector, detector } = tap;
+            let (action, deltas) = pipeline.with_planning_tap(|trajectory, active_index| {
+                let mut action = TapAction::Continue;
+                if let Some(injector) = injector.as_mut() {
+                    action = action.merge(injector.after_planning(trajectory, active_index));
+                }
+                let mut deltas = None;
+                if let Some(detector) = detector.as_mut() {
+                    if detector.is_autoencoder() {
+                        // `None` on an empty trajectory: the sequential hook
+                        // continues without observing — so does this driver.
+                        deltas = detector.begin_planning(trajectory, active_index);
+                    } else {
+                        action = action.merge(detector.after_planning(trajectory, active_index));
+                    }
+                }
+                (action, deltas)
+            });
+            match deltas {
+                Some(deltas) => {
+                    self.pending[index] = action;
+                    self.deltas.push(deltas);
+                    self.scored.push(index);
+                }
+                None => pipeline.apply_planning_action(tick, action),
+            }
+        }
+        if self.scored.is_empty() {
+            return;
+        }
+        let scorer = self.scorer.as_ref().expect("scored members imply a shared scorer");
+        // One matrix-matrix pass over every collected delta vector.  The
+        // scorer is read-only; borrowing it and the scratch field-wise keeps
+        // the member mutations below legal.
+        let scores = scorer.score_batch_with(&self.deltas, &mut self.aad_scratch);
+        for (position, &index) in self.scored.iter().enumerate() {
+            let Member { pipeline, tap, .. } = &mut self.members[index];
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let detector = tap.detector.as_mut().expect("scored member has a detector");
+            let action = pipeline.with_planning_tap(|trajectory, active_index| {
+                detector.finish_planning(scores[position], trajectory, active_index)
+            });
+            pipeline.apply_planning_action(tick, self.pending[index].merge(action));
+        }
+    }
+
+    fn control_stage(&mut self, count: usize) {
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, dt, .. } = &mut self.members[index];
+            let dt = *dt;
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            pipeline.control_stage(tick, &self.states[index], dt);
+        }
+        self.scored.clear();
+        self.deltas.clear();
+        for index in 0..count {
+            if !self.alive[index] {
+                continue;
+            }
+            let Member { pipeline, tap, dt, .. } = &mut self.members[index];
+            let dt = *dt;
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let mut action = TapAction::Continue;
+            if let Some(injector) = tap.injector.as_mut() {
+                action = action.merge(injector.after_control(&mut tick.command));
+            }
+            if let Some(detector) = tap.detector.as_mut() {
+                if detector.is_autoencoder() {
+                    let deltas = detector
+                        .begin_control(&tick.command)
+                        .expect("the autoencoder observes every control stage");
+                    self.pending[index] = action;
+                    self.deltas.push(deltas);
+                    self.scored.push(index);
+                    continue;
+                }
+                action = action.merge(detector.after_control(&mut tick.command));
+            }
+            pipeline.apply_control_action(tick, &self.states[index], dt, action);
+        }
+        if self.scored.is_empty() {
+            return;
+        }
+        let scorer = self.scorer.as_ref().expect("scored members imply a shared scorer");
+        // One matrix-matrix pass over every collected delta vector.  The
+        // scorer is read-only; borrowing it and the scratch field-wise keeps
+        // the member mutations below legal.
+        let scores = scorer.score_batch_with(&self.deltas, &mut self.aad_scratch);
+        for (position, &index) in self.scored.iter().enumerate() {
+            let Member { pipeline, tap, dt, .. } = &mut self.members[index];
+            let dt = *dt;
+            let tick = self.inflight[index].as_mut().expect("tick in flight");
+            let detector = tap.detector.as_mut().expect("scored member has a detector");
+            let action = self.pending[index]
+                .merge(detector.finish_control(scores[position], &mut tick.command));
+            pipeline.apply_control_action(tick, &self.states[index], dt, action);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use mavfi_telemetry::{MissionReport, MissionTelemetry, TelemetryReport};
 use crate::campaign::{CampaignConfig, EnvironmentCampaign, SettingResult};
 use crate::config::{MissionSpec, Protection, TrainingSpec};
 use crate::error::MavfiError;
+use crate::exec::batch::{BatchMission, MissionBatch};
 use crate::exec::cache::TrainedDetectorCache;
 use crate::exec::pool::WorkerPool;
 use crate::qof::{QofMetrics, QofSummary};
@@ -239,27 +240,56 @@ fn accumulate_recomputations(outcome: &MissionOutcome, totals: &mut [(Stage, u64
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignExecutor {
     pool: WorkerPool,
+    /// Campaign jobs per lockstep [`MissionBatch`] worker job; `0` means
+    /// "auto" (`MAVFI_BATCH`, falling back to
+    /// [`CampaignExecutor::DEFAULT_BATCH`]).
+    batch: usize,
 }
 
 impl CampaignExecutor {
+    /// Campaign jobs per batched worker job when neither
+    /// [`CampaignExecutor::with_batch_size`] nor `MAVFI_BATCH` pins one.
+    pub const DEFAULT_BATCH: usize = 8;
+
     /// Creates an executor with a fixed worker count; `0` means "auto"
     /// (`MAVFI_WORKERS`, falling back to the available parallelism).
     pub fn new(workers: usize) -> Self {
         if workers == 0 {
             Self::from_env()
         } else {
-            Self { pool: WorkerPool::new(workers) }
+            Self { pool: WorkerPool::new(workers), batch: 0 }
         }
     }
 
     /// An executor configured from `MAVFI_WORKERS` / the available cores.
     pub fn from_env() -> Self {
-        Self { pool: WorkerPool::from_env() }
+        Self { pool: WorkerPool::from_env(), batch: 0 }
     }
 
     /// An executor around an existing worker pool.
     pub fn with_pool(pool: WorkerPool) -> Self {
-        Self { pool }
+        Self { pool, batch: 0 }
+    }
+
+    /// Pins the number of campaign jobs flown per lockstep batch; `0`
+    /// restores "auto" (`MAVFI_BATCH`, falling back to
+    /// [`CampaignExecutor::DEFAULT_BATCH`]).  Campaign results are
+    /// bit-identical for every batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The resolved number of campaign jobs per lockstep batch.
+    pub fn batch_size(&self) -> usize {
+        if self.batch != 0 {
+            return self.batch;
+        }
+        std::env::var("MAVFI_BATCH")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&batch| batch > 0)
+            .unwrap_or(Self::DEFAULT_BATCH)
     }
 
     /// The underlying worker pool.
@@ -283,8 +313,32 @@ impl CampaignExecutor {
             .with_time_budget(config.mission_time_budget)
     }
 
+    /// One unified run list: golden runs first, then every planned fault —
+    /// the same order the sequential loops used, so folding in index order
+    /// reproduces their output exactly, while the pool is free to
+    /// interleave long and short missions across workers.
+    fn campaign_jobs(config: &CampaignConfig) -> Vec<CampaignJob> {
+        let mut jobs: Vec<CampaignJob> = Vec::new();
+        jobs.extend((0..config.golden_runs as u64).map(CampaignJob::Golden));
+        jobs.extend(
+            Self::plan_faults(config)
+                .into_iter()
+                .enumerate()
+                .map(|(index, fault)| CampaignJob::Fault(index, fault)),
+        );
+        jobs
+    }
+
     /// Runs the golden, injection and both D&R settings of one
     /// environment's campaign as a single sharded run list.
+    ///
+    /// Each worker job is a lockstep [`MissionBatch`] of
+    /// [`batch_size`](Self::batch_size) consecutive campaign jobs (a fault
+    /// job contributes its injected/Gaussian/autoencoder triple to the same
+    /// batch), stepped tick-by-tick together with one matrix-matrix
+    /// detector pass per stage.  The assembled campaign is bit-identical to
+    /// [`run_campaign_sequential`](Self::run_campaign_sequential) for every
+    /// batch size and worker count.
     ///
     /// # Errors
     ///
@@ -293,6 +347,86 @@ impl CampaignExecutor {
     /// independent of the worker count, and runs above that failure are
     /// skipped rather than flown.
     pub fn run_campaign(
+        &self,
+        config: &CampaignConfig,
+        scheme: &SchemeConfig,
+    ) -> Result<EnvironmentCampaign, MavfiError> {
+        let detectors = scheme.detectors();
+        let jobs = Self::campaign_jobs(config);
+        let chunks: Vec<&[CampaignJob]> = jobs.chunks(self.batch_size().max(1)).collect();
+
+        let mut aggregate = CampaignAggregate::new(config);
+        self.pool.try_fold_ordered(
+            &chunks,
+            |_, chunk| -> Result<Vec<JobOutcome>, MavfiError> {
+                let mut missions = Vec::new();
+                for job in *chunk {
+                    match job {
+                        CampaignJob::Golden(index) => {
+                            missions.push(BatchMission::golden(Self::mission_spec(config, *index)))
+                        }
+                        CampaignJob::Fault(index, fault) => {
+                            let spec = Self::mission_spec(config, *index as u64);
+                            missions.extend(Protection::ALL.map(|protection| BatchMission {
+                                spec,
+                                fault: Some(*fault),
+                                protection,
+                            }));
+                        }
+                    }
+                }
+                let outcomes =
+                    MissionBatch::new(&missions, Some(detectors.as_ref()))?.run_to_completion();
+                let mut outcomes = outcomes.into_iter();
+                let mut next = || outcomes.next().expect("one outcome per batched mission");
+                Ok(chunk
+                    .iter()
+                    .map(|job| match job {
+                        CampaignJob::Golden(_) => {
+                            let outcome = next();
+                            JobOutcome::Golden {
+                                qof: outcome.qof,
+                                ticks: outcome.pipeline.ticks,
+                                compute_ms: outcome.pipeline.total_compute_ms(),
+                                reports: Vec::new(),
+                            }
+                        }
+                        CampaignJob::Fault(..) => {
+                            let injected = next();
+                            let gaussian = next();
+                            let autoencoder = next();
+                            JobOutcome::Fault(
+                                Box::new(FaultSettingOutcomes {
+                                    injected: injected.qof,
+                                    gaussian,
+                                    autoencoder,
+                                }),
+                                Vec::new(),
+                            )
+                        }
+                    })
+                    .collect())
+            },
+            &mut aggregate,
+            |aggregate, _, outcomes| {
+                for outcome in outcomes {
+                    aggregate.fold(outcome);
+                }
+            },
+        )?;
+        Ok(aggregate.finish(config))
+    }
+
+    /// [`run_campaign`](Self::run_campaign) through the original
+    /// one-mission-at-a-time path: every worker job flies a single campaign
+    /// job sequentially through [`MissionRunner`].  The verification
+    /// baseline for the batched engine — results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner errors exactly like
+    /// [`run_campaign`](Self::run_campaign).
+    pub fn run_campaign_sequential(
         &self,
         config: &CampaignConfig,
         scheme: &SchemeConfig,
@@ -332,19 +466,7 @@ impl CampaignExecutor {
         instrument: bool,
     ) -> Result<(EnvironmentCampaign, Option<TelemetryReport>), MavfiError> {
         let detectors = scheme.detectors();
-
-        // One unified run list: golden runs first, then every planned
-        // fault — the same order the sequential loops used, so folding in
-        // index order reproduces their output exactly, while the pool is
-        // free to interleave long and short missions across workers.
-        let mut jobs: Vec<CampaignJob> = Vec::new();
-        jobs.extend((0..config.golden_runs as u64).map(CampaignJob::Golden));
-        jobs.extend(
-            Self::plan_faults(config)
-                .into_iter()
-                .enumerate()
-                .map(|(index, fault)| CampaignJob::Fault(index, fault)),
-        );
+        let jobs = Self::campaign_jobs(config);
 
         // Instrumented missions: a fresh sink per mission (constructing it
         // preallocates the telemetry buffers; the mission itself then runs
@@ -576,6 +698,28 @@ mod tests {
         };
         assert_eq!(outcome.injected_groups(2).len(), 3);
         assert_eq!(outcome.injected_groups(6).len(), 1);
+    }
+
+    #[test]
+    fn batched_campaign_matches_sequential_baseline() {
+        let detectors = quick_detectors();
+        let config = CampaignConfig {
+            environment: EnvironmentKind::Farm,
+            golden_runs: 2,
+            injections_per_stage: 1,
+            base_seed: 9,
+            mission_time_budget: 60.0,
+        };
+        let scheme = SchemeConfig::trained(detectors);
+        let sequential =
+            CampaignExecutor::new(1).run_campaign_sequential(&config, &scheme).unwrap();
+        for batch in [1, 3] {
+            let batched = CampaignExecutor::new(2)
+                .with_batch_size(batch)
+                .run_campaign(&config, &scheme)
+                .unwrap();
+            assert_eq!(batched, sequential, "batch size {batch}");
+        }
     }
 
     #[test]

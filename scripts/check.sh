@@ -29,6 +29,9 @@ cargo run --release --offline -q --example telemetry_report >/dev/null
 echo "==> golden traces replay bit-identically (retrace --verify)"
 cargo run --release --offline -q --example retrace -- --verify >/dev/null
 
+echo "==> bench log self-compare smoke (bench_compare gate)"
+./scripts/bench.sh --compare BENCH_9.json BENCH_9.json >/dev/null
+
 echo "==> markdown relative links resolve (README.md, docs/, CHANGES.md)"
 broken=0
 for file in README.md CHANGES.md docs/*.md; do
