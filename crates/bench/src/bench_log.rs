@@ -2,13 +2,13 @@
 //!
 //! Every simulation-backed bench can [`record`] named scalar metrics
 //! (ticks/sec, ns/score, …).  Records accumulate as a JSON array in
-//! `BENCH_9.json` at the repository root (override the path with the
+//! `BENCH_10.json` at the repository root (override the path with the
 //! `MAVFI_BENCH_LOG` environment variable, or pass an output file to
 //! `scripts/bench.sh`), so the performance trajectory of the hot tick path
 //! is tracked across PRs: each entry carries a Unix timestamp, the bench
 //! name, the metric name, the value and its unit, plus a free-form note
 //! (used to tag pre-/post-refactor measurements).  Earlier PRs' logs
-//! (`BENCH_8.json`, `BENCH_7.json`, …) stay in the repository as the
+//! (`BENCH_9.json`, `BENCH_8.json`, …) stay in the repository as the
 //! historical record, and `scripts/bench.sh --compare` diffs two logs
 //! metric by metric (see `src/bin/bench_compare.rs`).
 //!
@@ -22,13 +22,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use serde::Value;
 
 /// Resolves the log path: `MAVFI_BENCH_LOG` if set, otherwise
-/// `BENCH_9.json` in the workspace root.
+/// `BENCH_10.json` in the workspace root.
 pub fn log_path() -> PathBuf {
     if let Ok(path) = std::env::var("MAVFI_BENCH_LOG") {
         return PathBuf::from(path);
     }
     // CARGO_MANIFEST_DIR is crates/bench; the log lives two levels up.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_10.json")
 }
 
 /// Loads the existing log entries, or sets an unparseable log aside as

@@ -10,6 +10,7 @@
 //! worker count while bulky per-run artifacts (sampled trails) are dropped
 //! as soon as their statistics are folded in.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use mavfi_fault::campaign::CampaignPlan;
@@ -17,6 +18,7 @@ use mavfi_fault::injector::FaultSpec;
 use mavfi_ppc::states::Stage;
 use mavfi_sim::env::EnvironmentKind;
 use mavfi_telemetry::{MissionReport, MissionTelemetry, TelemetryReport};
+use serde::{Deserialize, Serialize};
 
 use crate::campaign::{CampaignConfig, EnvironmentCampaign, SettingResult};
 use crate::config::{MissionSpec, Protection, TrainingSpec};
@@ -130,14 +132,14 @@ impl SweepOutcome {
 
 /// All mission outcomes derived from one planned fault, keeping the paired
 /// injection / Gaussian / autoencoder comparison together per job.
-struct FaultSettingOutcomes {
-    injected: QofMetrics,
-    gaussian: MissionOutcome,
-    autoencoder: MissionOutcome,
+pub(crate) struct FaultSettingOutcomes {
+    pub(crate) injected: QofMetrics,
+    pub(crate) gaussian: MissionOutcome,
+    pub(crate) autoencoder: MissionOutcome,
 }
 
 /// One entry of a campaign's unified run list.
-enum CampaignJob {
+pub(crate) enum CampaignJob {
     Golden(u64),
     Fault(usize, FaultSpec),
 }
@@ -145,26 +147,45 @@ enum CampaignJob {
 /// What one campaign job produced (trimmed to what aggregation needs).
 /// `reports` carries the job's mission telemetry (one report per mission,
 /// in mission order) and stays empty on uninstrumented runs.
-enum JobOutcome {
+pub(crate) enum JobOutcome {
     Golden { qof: QofMetrics, ticks: u64, compute_ms: f64, reports: Vec<MissionReport> },
     Fault(Box<FaultSettingOutcomes>, Vec<MissionReport>),
 }
 
 /// Streaming aggregate of a campaign; folded in run-index order, so every
 /// sum matches the sequential loop bit for bit.
-struct CampaignAggregate {
-    golden_runs: Vec<QofMetrics>,
-    golden_ticks: u64,
-    golden_compute_ms: f64,
-    injected_runs: Vec<QofMetrics>,
-    gaussian_runs: Vec<QofMetrics>,
-    autoencoder_runs: Vec<QofMetrics>,
-    gaussian_recomputations: Vec<(Stage, u64)>,
-    autoencoder_recomputations: Vec<(Stage, u64)>,
+///
+/// The state is deliberately *extractable*: it is plain data (serde-
+/// serialisable, no handles into the pool or detectors), campaign chunks
+/// fold into it strictly in chunk order, and chunks are independent — so
+/// folding chunks `[0, k)` into a fresh state, persisting it, and later
+/// folding chunks `[k, n)` into the restored state yields exactly the bytes
+/// of an uninterrupted `[0, n)` fold.  That property is what the campaign
+/// server's checkpoint/resume protocol (`mavfi::serve`) is built on, and
+/// what `tests/server_faults.rs` and the checkpoint proptests pin down.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignFoldState {
+    /// Golden-run metrics folded so far, in run order.
+    pub golden_runs: Vec<QofMetrics>,
+    /// Total pipeline ticks across the folded golden runs.
+    pub golden_ticks: u64,
+    /// Total nominal compute time across the folded golden runs (ms).
+    pub golden_compute_ms: f64,
+    /// Unprotected-injection metrics folded so far, in plan order.
+    pub injected_runs: Vec<QofMetrics>,
+    /// D&R(G) metrics folded so far, in plan order.
+    pub gaussian_runs: Vec<QofMetrics>,
+    /// D&R(A) metrics folded so far, in plan order.
+    pub autoencoder_runs: Vec<QofMetrics>,
+    /// Recomputations requested by the Gaussian scheme, per stage.
+    pub gaussian_recomputations: Vec<(Stage, u64)>,
+    /// Recomputations requested by the autoencoder scheme, per stage.
+    pub autoencoder_recomputations: Vec<(Stage, u64)>,
 }
 
-impl CampaignAggregate {
-    fn new(config: &CampaignConfig) -> Self {
+impl CampaignFoldState {
+    /// An empty fold state sized for `config`'s run list.
+    pub fn new(config: &CampaignConfig) -> Self {
         let faults = config.injections_per_stage * Stage::ALL.len();
         Self {
             golden_runs: Vec::with_capacity(config.golden_runs),
@@ -178,7 +199,26 @@ impl CampaignAggregate {
         }
     }
 
-    fn fold(&mut self, outcome: JobOutcome) {
+    /// Number of campaign jobs folded so far (a fault job counts once,
+    /// covering its injected/Gaussian/autoencoder triple).
+    pub fn jobs_folded(&self) -> usize {
+        self.golden_runs.len() + self.injected_runs.len()
+    }
+
+    /// Incremental QoF summaries of the four settings in Table I row order
+    /// (golden, injected, Gaussian, autoencoder) over the runs folded so
+    /// far — the aggregates the campaign server streams to clients while a
+    /// job is in flight.
+    pub fn partial_summaries(&self) -> [QofSummary; 4] {
+        [
+            QofSummary::from_runs(&self.golden_runs),
+            QofSummary::from_runs(&self.injected_runs),
+            QofSummary::from_runs(&self.gaussian_runs),
+            QofSummary::from_runs(&self.autoencoder_runs),
+        ]
+    }
+
+    pub(crate) fn fold(&mut self, outcome: JobOutcome) {
         match outcome {
             JobOutcome::Golden { qof, ticks, compute_ms, .. } => {
                 self.golden_ticks += ticks;
@@ -198,7 +238,8 @@ impl CampaignAggregate {
         }
     }
 
-    fn finish(self, config: &CampaignConfig) -> EnvironmentCampaign {
+    /// Assembles the final campaign result from a fully folded state.
+    pub fn finish(self, config: &CampaignConfig) -> EnvironmentCampaign {
         let golden_divisor = config.golden_runs.max(1) as f64;
         EnvironmentCampaign {
             environment: config.environment,
@@ -351,70 +392,114 @@ impl CampaignExecutor {
         config: &CampaignConfig,
         scheme: &SchemeConfig,
     ) -> Result<EnvironmentCampaign, MavfiError> {
+        let mut state = CampaignFoldState::new(config);
+        self.run_campaign_chunks(config, scheme, 0..self.campaign_chunk_count(config), &mut state)?;
+        Ok(state.finish(config))
+    }
+
+    /// Number of lockstep batches (worker jobs) the campaign's run list
+    /// splits into at this executor's [`batch_size`](Self::batch_size) —
+    /// the unit of [`run_campaign_chunks`](Self::run_campaign_chunks)
+    /// ranges and of the campaign server's checkpoint stride.
+    pub fn campaign_chunk_count(&self, config: &CampaignConfig) -> usize {
+        let jobs = config.golden_runs + config.injections_per_stage * Stage::ALL.len();
+        jobs.div_ceil(self.batch_size().max(1))
+    }
+
+    /// Runs the chunks `chunk_range` (clamped to the campaign's chunk
+    /// count) of the campaign's batched run list, folding their outcomes
+    /// into `state` in chunk order.
+    ///
+    /// Chunks are independent and the fold is strictly ordered, so running
+    /// `0..k` into a fresh state and then `k..n` into that same state —
+    /// even across a process restart, with the state serialised in between
+    /// — produces exactly the bytes of one uninterrupted `0..n` pass.
+    /// [`run_campaign`](Self::run_campaign) is precisely that uninterrupted
+    /// pass; the campaign server executes bounded ranges between
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runner errors exactly like
+    /// [`run_campaign`](Self::run_campaign); `state` keeps the outcomes
+    /// folded before the lowest-indexed failure.
+    pub fn run_campaign_chunks(
+        &self,
+        config: &CampaignConfig,
+        scheme: &SchemeConfig,
+        chunk_range: Range<usize>,
+        state: &mut CampaignFoldState,
+    ) -> Result<(), MavfiError> {
         let detectors = scheme.detectors();
         let jobs = Self::campaign_jobs(config);
         let chunks: Vec<&[CampaignJob]> = jobs.chunks(self.batch_size().max(1)).collect();
-
-        let mut aggregate = CampaignAggregate::new(config);
+        let end = chunk_range.end.min(chunks.len());
+        let start = chunk_range.start.min(end);
         self.pool.try_fold_ordered(
-            &chunks,
-            |_, chunk| -> Result<Vec<JobOutcome>, MavfiError> {
-                let mut missions = Vec::new();
-                for job in *chunk {
-                    match job {
-                        CampaignJob::Golden(index) => {
-                            missions.push(BatchMission::golden(Self::mission_spec(config, *index)))
-                        }
-                        CampaignJob::Fault(index, fault) => {
-                            let spec = Self::mission_spec(config, *index as u64);
-                            missions.extend(Protection::ALL.map(|protection| BatchMission {
-                                spec,
-                                fault: Some(*fault),
-                                protection,
-                            }));
-                        }
+            &chunks[start..end],
+            |_, chunk| Self::run_chunk(config, detectors.as_ref(), chunk),
+            state,
+            |state, _, outcomes| {
+                for outcome in outcomes {
+                    state.fold(outcome);
+                }
+            },
+        )
+    }
+
+    /// Flies one chunk of consecutive campaign jobs as a single lockstep
+    /// [`MissionBatch`] and maps the batch outcomes back onto the jobs.
+    fn run_chunk(
+        config: &CampaignConfig,
+        detectors: &TrainedDetectors,
+        chunk: &[CampaignJob],
+    ) -> Result<Vec<JobOutcome>, MavfiError> {
+        let mut missions = Vec::new();
+        for job in chunk {
+            match job {
+                CampaignJob::Golden(index) => {
+                    missions.push(BatchMission::golden(Self::mission_spec(config, *index)))
+                }
+                CampaignJob::Fault(index, fault) => {
+                    let spec = Self::mission_spec(config, *index as u64);
+                    missions.extend(Protection::ALL.map(|protection| BatchMission {
+                        spec,
+                        fault: Some(*fault),
+                        protection,
+                    }));
+                }
+            }
+        }
+        let outcomes = MissionBatch::new(&missions, Some(detectors))?.run_to_completion();
+        let mut outcomes = outcomes.into_iter();
+        let mut next = || outcomes.next().expect("one outcome per batched mission");
+        Ok(chunk
+            .iter()
+            .map(|job| match job {
+                CampaignJob::Golden(_) => {
+                    let outcome = next();
+                    JobOutcome::Golden {
+                        qof: outcome.qof,
+                        ticks: outcome.pipeline.ticks,
+                        compute_ms: outcome.pipeline.total_compute_ms(),
+                        reports: Vec::new(),
                     }
                 }
-                let outcomes =
-                    MissionBatch::new(&missions, Some(detectors.as_ref()))?.run_to_completion();
-                let mut outcomes = outcomes.into_iter();
-                let mut next = || outcomes.next().expect("one outcome per batched mission");
-                Ok(chunk
-                    .iter()
-                    .map(|job| match job {
-                        CampaignJob::Golden(_) => {
-                            let outcome = next();
-                            JobOutcome::Golden {
-                                qof: outcome.qof,
-                                ticks: outcome.pipeline.ticks,
-                                compute_ms: outcome.pipeline.total_compute_ms(),
-                                reports: Vec::new(),
-                            }
-                        }
-                        CampaignJob::Fault(..) => {
-                            let injected = next();
-                            let gaussian = next();
-                            let autoencoder = next();
-                            JobOutcome::Fault(
-                                Box::new(FaultSettingOutcomes {
-                                    injected: injected.qof,
-                                    gaussian,
-                                    autoencoder,
-                                }),
-                                Vec::new(),
-                            )
-                        }
-                    })
-                    .collect())
-            },
-            &mut aggregate,
-            |aggregate, _, outcomes| {
-                for outcome in outcomes {
-                    aggregate.fold(outcome);
+                CampaignJob::Fault(..) => {
+                    let injected = next();
+                    let gaussian = next();
+                    let autoencoder = next();
+                    JobOutcome::Fault(
+                        Box::new(FaultSettingOutcomes {
+                            injected: injected.qof,
+                            gaussian,
+                            autoencoder,
+                        }),
+                        Vec::new(),
+                    )
                 }
-            },
-        )?;
-        Ok(aggregate.finish(config))
+            })
+            .collect())
     }
 
     /// [`run_campaign`](Self::run_campaign) through the original
@@ -499,7 +584,7 @@ impl CampaignExecutor {
             }
         };
 
-        let mut aggregate = CampaignAggregate::new(config);
+        let mut aggregate = CampaignFoldState::new(config);
         let mut telemetry = if instrument { Some(TelemetryReport::new()) } else { None };
         let mut state = (&mut aggregate, &mut telemetry);
         let pool_stats = self.pool.try_fold_ordered_with_stats(
@@ -720,6 +805,38 @@ mod tests {
                 .unwrap();
             assert_eq!(batched, sequential, "batch size {batch}");
         }
+    }
+
+    #[test]
+    fn chunk_ranges_fold_identically_to_the_uninterrupted_pass() {
+        let detectors = quick_detectors();
+        let config = CampaignConfig {
+            environment: EnvironmentKind::Farm,
+            golden_runs: 2,
+            injections_per_stage: 1,
+            base_seed: 9,
+            mission_time_budget: 60.0,
+        };
+        let scheme = SchemeConfig::trained(detectors);
+        let executor = CampaignExecutor::new(2).with_batch_size(2);
+        let full = executor.run_campaign(&config, &scheme).unwrap();
+        let total = executor.campaign_chunk_count(&config);
+        assert_eq!(total, 3); // 5 jobs at batch size 2
+        for split in 1..total {
+            let mut state = CampaignFoldState::new(&config);
+            executor.run_campaign_chunks(&config, &scheme, 0..split, &mut state).unwrap();
+            // Round-trip the mid-campaign state through serde, as a
+            // checkpoint would.
+            let json = serde_json::to_string(&state).unwrap();
+            let mut state: CampaignFoldState = serde_json::from_str(&json).unwrap();
+            executor.run_campaign_chunks(&config, &scheme, split..total, &mut state).unwrap();
+            assert_eq!(state.finish(&config), full, "split after chunk {split}");
+        }
+        // Out-of-range tails are clamped, not flown twice.
+        let mut state = CampaignFoldState::new(&config);
+        executor.run_campaign_chunks(&config, &scheme, 0..usize::MAX, &mut state).unwrap();
+        assert_eq!(state.jobs_folded(), 5);
+        assert_eq!(state.finish(&config), full);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod pool;
 pub use batch::{BatchMission, MissionBatch};
 pub use cache::{CacheStats, TrainedDetectorCache};
 pub use engine::{
-    run_campaign, run_campaign_instrumented, CampaignExecutor, DetectorSource, InjectionSweep,
-    SchemeConfig, SweepOutcome,
+    run_campaign, run_campaign_instrumented, CampaignExecutor, CampaignFoldState, DetectorSource,
+    InjectionSweep, SchemeConfig, SweepOutcome,
 };
 pub use pool::{PoolStats, WorkerPool};

@@ -43,6 +43,7 @@ pub mod qof;
 pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod trace;
 pub mod training;
 
@@ -50,12 +51,16 @@ pub use campaign::{CampaignConfig, CampaignRunner, EnvironmentCampaign, SettingR
 pub use config::{MissionSpec, Protection, TrainingSpec};
 pub use error::MavfiError;
 pub use exec::{
-    run_campaign, run_campaign_instrumented, BatchMission, CampaignExecutor, MissionBatch,
-    SchemeConfig, TrainedDetectorCache, WorkerPool,
+    run_campaign, run_campaign_instrumented, BatchMission, CampaignExecutor, CampaignFoldState,
+    MissionBatch, SchemeConfig, TrainedDetectorCache, WorkerPool,
 };
 pub use qof::{QofMetrics, QofSummary};
 pub use replay::{ReplayDivergence, ReplayHarness, ReplayReport};
 pub use runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+pub use serve::{
+    CampaignClient, CampaignProgress, CampaignRequest, CampaignServer, JobStatus, JobTicket,
+    ServerError,
+};
 pub use trace::{DetectorProvenance, MissionTrace, TraceMeta, TraceTopic};
 pub use training::{train_detectors, train_detectors_in};
 
@@ -65,13 +70,17 @@ pub mod prelude {
     pub use crate::config::{MissionSpec, Protection, TrainingSpec};
     pub use crate::error::MavfiError;
     pub use crate::exec::{
-        run_campaign, run_campaign_instrumented, BatchMission, CampaignExecutor, MissionBatch,
-        SchemeConfig, TrainedDetectorCache, WorkerPool,
+        run_campaign, run_campaign_instrumented, BatchMission, CampaignExecutor, CampaignFoldState,
+        MissionBatch, SchemeConfig, TrainedDetectorCache, WorkerPool,
     };
     pub use crate::qof::{QofMetrics, QofSummary};
     pub use crate::replay::{ReplayDivergence, ReplayHarness, ReplayReport};
     pub use crate::report::TextTable;
     pub use crate::runner::{MissionOutcome, MissionRunner, TrainedDetectors};
+    pub use crate::serve::{
+        CampaignClient, CampaignProgress, CampaignRequest, CampaignServer, JobStatus, JobTicket,
+        ServerError,
+    };
     pub use crate::trace::{DetectorProvenance, MissionTrace, TraceMeta, TraceTopic};
     pub use crate::training::{train_detectors, train_detectors_in};
 

@@ -158,9 +158,9 @@ impl Executor {
                 entry.next_due = now + entry.node.period().max(Duration::from_nanos(1));
                 report.steps += 1;
                 self.registry.record_step(entry.node.name());
-                if outcome.is_err() {
+                if let Err(error) = outcome {
                     report.crashes += 1;
-                    self.registry.record_crash(entry.node.name());
+                    self.registry.record_crash_with_reason(entry.node.name(), error.reason());
                     entry.node.on_restart();
                 }
             }
@@ -269,6 +269,7 @@ mod tests {
         let info = executor.registry().info("flaky").unwrap();
         assert_eq!(info.crashes, 1);
         assert_eq!(info.steps, 6);
+        assert_eq!(info.last_error.as_deref(), Some("intentional failure"));
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct NodeInfo {
     pub crashes: u64,
     /// Number of times the node was restarted after a crash.
     pub restarts: u64,
+    /// Reason of the most recent crash, when one was reported.  A node
+    /// stuck in a crash loop is diagnosable from [`Registry::infos`]
+    /// without re-running it under a debugger.
+    pub last_error: Option<String>,
 }
 
 /// Shared registry of node statistics.
@@ -61,12 +65,25 @@ impl Registry {
 
     /// Records a crash (and the implied automatic restart) for `name`.
     pub fn record_crash(&self, name: &str) {
+        self.record_crash_entry(name, None);
+    }
+
+    /// Records a crash together with its reason, which becomes the node's
+    /// [`NodeInfo::last_error`].
+    pub fn record_crash_with_reason(&self, name: &str, reason: &str) {
+        self.record_crash_entry(name, Some(reason));
+    }
+
+    fn record_crash_entry(&self, name: &str, reason: Option<&str>) {
         let mut nodes = self.nodes.lock();
         let info = nodes
             .entry(name.to_owned())
             .or_insert_with(|| NodeInfo { name: name.to_owned(), ..NodeInfo::default() });
         info.crashes += 1;
         info.restarts += 1;
+        if let Some(reason) = reason {
+            info.last_error = Some(reason.to_owned());
+        }
     }
 
     /// Returns a copy of the statistics for `name`, if the node is known.
@@ -113,6 +130,29 @@ mod tests {
         assert_eq!(info.restarts, 1);
         assert_eq!(registry.total_steps(), 2);
         assert_eq!(registry.total_crashes(), 1);
+    }
+
+    #[test]
+    fn crash_reasons_surface_in_infos() {
+        let registry = Registry::new();
+        registry.record_step("server");
+        assert_eq!(registry.info("server").unwrap().last_error, None);
+        registry.record_crash("server");
+        // A reason-less crash keeps whatever reason was known before.
+        assert_eq!(registry.info("server").unwrap().last_error, None);
+        registry.record_crash_with_reason("server", "checkpoint digest mismatch");
+        registry.record_crash_with_reason("server", "checkpoint directory unwritable");
+        let infos = registry.infos();
+        let info = infos.iter().find(|info| info.name == "server").unwrap();
+        assert_eq!(info.crashes, 3);
+        // The latest reason wins: the loop's current failure is what the
+        // operator needs, not its first.
+        assert_eq!(info.last_error.as_deref(), Some("checkpoint directory unwritable"));
+        registry.record_crash("server");
+        assert_eq!(
+            registry.info("server").unwrap().last_error.as_deref(),
+            Some("checkpoint directory unwritable")
+        );
     }
 
     #[test]

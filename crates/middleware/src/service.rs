@@ -128,6 +128,14 @@ impl Bus {
         Ok(*response)
     }
 
+    /// Removes the server registered for `name`, if any, so later calls
+    /// fail with [`MiddlewareError::NoSuchService`] — the analogue of a
+    /// node shutting down and unregistering from the master.  Returns
+    /// `true` when a server was removed.
+    pub fn remove_service(&self, name: &str) -> bool {
+        self.services().lock().remove(name).is_some()
+    }
+
     /// Returns `true` if a server is currently registered for `name`.
     pub fn has_service(&self, name: &str) -> bool {
         self.services().lock().contains_key(name)
@@ -182,6 +190,17 @@ mod tests {
         assert_eq!(client.call(2).unwrap(), 2);
         assert_eq!(client.call(3).unwrap(), 5);
         assert_eq!(client.name(), "accumulate");
+    }
+
+    #[test]
+    fn removed_services_stop_answering() {
+        let bus = Bus::new();
+        bus.advertise_service::<u32, u32, _>("ephemeral", |x| x);
+        assert!(bus.remove_service("ephemeral"));
+        assert!(!bus.remove_service("ephemeral"));
+        assert!(!bus.has_service("ephemeral"));
+        let err = bus.call_service::<u32, u32>("ephemeral", 1).unwrap_err();
+        assert_eq!(err, MiddlewareError::NoSuchService { service: "ephemeral".into() });
     }
 
     #[test]

@@ -29,14 +29,16 @@ pub mod sink;
 pub mod timeline;
 
 pub use histogram::LatencyHistogram;
-pub use report::{LatencyTicks, MissionReport, TelemetryReport, WallClockRollup};
+pub use report::{LatencyTicks, MissionReport, ServerCounters, TelemetryReport, WallClockRollup};
 pub use sink::{MissionTelemetry, TelemetryCounters};
 pub use timeline::{EventTimeline, TelemetryEvent, TimelineEvent};
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
     pub use crate::histogram::LatencyHistogram;
-    pub use crate::report::{LatencyTicks, MissionReport, TelemetryReport, WallClockRollup};
+    pub use crate::report::{
+        LatencyTicks, MissionReport, ServerCounters, TelemetryReport, WallClockRollup,
+    };
     pub use crate::sink::{MissionTelemetry, TelemetryCounters};
     pub use crate::timeline::{EventTimeline, TelemetryEvent, TimelineEvent};
 }

@@ -90,6 +90,54 @@ pub struct WallClockRollup {
     pub fold_stalls: u64,
 }
 
+/// Per-job campaign-server activity counters: submissions, executed
+/// chunks, checkpoint traffic and resume events.
+///
+/// Like [`WallClockRollup`], these describe *how* results were produced —
+/// how often the serving process was killed, resumed or fed duplicates —
+/// not the results themselves, so [`TelemetryReport::deterministic_view`]
+/// strips them: an interrupted serve and an uninterrupted one must agree
+/// on everything the view keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerCounters {
+    /// Campaign submissions admitted as new jobs.
+    pub jobs_submitted: u64,
+    /// Submissions recognised as duplicates of an existing job.
+    pub duplicate_submissions: u64,
+    /// Jobs resumed from an on-disk checkpoint after a restart.
+    pub jobs_resumed: u64,
+    /// Jobs whose final campaign was assembled.
+    pub jobs_completed: u64,
+    /// Campaign chunks (lockstep batches) executed.
+    pub chunks_executed: u64,
+    /// Checkpoints written successfully.
+    pub checkpoints_written: u64,
+    /// Checkpoints loaded and verified at startup.
+    pub checkpoints_loaded: u64,
+    /// Checkpoint files that failed verification at startup.
+    pub checkpoints_corrupt: u64,
+    /// Checkpoint writes that failed at the I/O layer.
+    pub checkpoint_failures: u64,
+    /// Incremental progress aggregates published.
+    pub progress_updates: u64,
+}
+
+impl ServerCounters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        self.jobs_submitted += other.jobs_submitted;
+        self.duplicate_submissions += other.duplicate_submissions;
+        self.jobs_resumed += other.jobs_resumed;
+        self.jobs_completed += other.jobs_completed;
+        self.chunks_executed += other.chunks_executed;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoints_loaded += other.checkpoints_loaded;
+        self.checkpoints_corrupt += other.checkpoints_corrupt;
+        self.checkpoint_failures += other.checkpoint_failures;
+        self.progress_updates += other.progress_updates;
+    }
+}
+
 /// The campaign-wide telemetry rollup: every mission's report merged in
 /// deterministic (run-index) order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -113,6 +161,9 @@ pub struct TelemetryReport {
     pub timeline_digest: u64,
     /// The machine-dependent half (histograms, worker utilisation).
     pub wall_clock: WallClockRollup,
+    /// Campaign-server activity (submissions, checkpoints, resumes);
+    /// all-zero for library runs that never touch the server.
+    pub server: ServerCounters,
 }
 
 impl TelemetryReport {
@@ -174,13 +225,19 @@ impl TelemetryReport {
             .wrapping_mul(0x0000_0100_0000_01b3)
             .rotate_left((self.missions % 63) as u32 + 1);
         self.wall_clock.fold_stalls += other.wall_clock.fold_stalls;
+        self.server.merge(&other.server);
     }
 
     /// The rollup with everything machine-dependent stripped: the part that
-    /// must be bit-identical across runs and worker counts.  Determinism
-    /// tests compare this.
+    /// must be bit-identical across runs and worker counts (and, for served
+    /// campaigns, across kill/resume histories).  Determinism tests compare
+    /// this.
     pub fn deterministic_view(&self) -> Self {
-        Self { wall_clock: WallClockRollup::default(), ..self.clone() }
+        Self {
+            wall_clock: WallClockRollup::default(),
+            server: ServerCounters::default(),
+            ..self.clone()
+        }
     }
 }
 
@@ -248,9 +305,28 @@ mod tests {
         report.kernel_latency_ns[0].record(1_000);
         rollup.merge_mission(&report);
         rollup.wall_clock.worker_jobs = vec![3, 4];
+        rollup.server.jobs_submitted = 2;
+        rollup.server.checkpoints_written = 5;
         let view = rollup.deterministic_view();
         assert_eq!(view.wall_clock, WallClockRollup::default());
+        assert_eq!(view.server, ServerCounters::default());
         assert_eq!(view.counters, rollup.counters);
+    }
+
+    #[test]
+    fn server_counters_merge_fieldwise() {
+        let mut a = TelemetryReport::new();
+        a.server.jobs_submitted = 1;
+        a.server.chunks_executed = 4;
+        let mut b = TelemetryReport::new();
+        b.server.jobs_submitted = 2;
+        b.server.jobs_resumed = 1;
+        b.server.checkpoints_loaded = 3;
+        a.merge(&b);
+        assert_eq!(a.server.jobs_submitted, 3);
+        assert_eq!(a.server.chunks_executed, 4);
+        assert_eq!(a.server.jobs_resumed, 1);
+        assert_eq!(a.server.checkpoints_loaded, 3);
     }
 
     #[test]

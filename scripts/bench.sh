@@ -9,15 +9,15 @@
 #   note     free-form tag attached to every recorded entry (defaults to the
 #            current git revision), e.g. ./scripts/bench.sh post-refactor
 #   outfile  bench log to append to (defaults to $MAVFI_BENCH_LOG if set,
-#            otherwise BENCH_9.json), e.g.
-#            ./scripts/bench.sh post-refactor BENCH_9.json
+#            otherwise BENCH_10.json), e.g.
+#            ./scripts/bench.sh post-refactor BENCH_10.json
 #
 #   --compare diffs two logs metric by metric without running any bench
 #            (new.json defaults to the current log) and exits non-zero when
 #            a headline metric regressed by more than 25% — see
 #            crates/bench/src/bin/bench_compare.rs.
 #
-# The script runs the six instrumented bench targets in quick mode:
+# The script runs the seven instrumented bench targets in quick mode:
 #   - fig3_kernel_sensitivity  -> ticks/sec + ns/tick of the golden closed loop
 #   - detector_micro           -> ns/score of the AAD reconstruction error
 #   - replan_micro             -> ns/replan per planner + forced-replan ticks/sec
@@ -25,12 +25,14 @@
 #   - table2_overhead          -> ticks/sec of an AAD-protected mission
 #   - batch_throughput         -> batched lockstep vs sequential ticks/sec,
 #                                 worker-pool scaling curve
+#   - serve_scaling            -> served-campaign jobs/sec per worker count,
+#                                 service overhead vs the library call
 # Full campaigns (paper tables/figures) are skipped; drop MAVFI_BENCH_QUICK
 # below to include them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DEFAULT_LOG="${MAVFI_BENCH_LOG:-BENCH_9.json}"
+DEFAULT_LOG="${MAVFI_BENCH_LOG:-BENCH_10.json}"
 
 if [ "${1:-}" = "--compare" ]; then
   OLD="${2:?usage: ./scripts/bench.sh --compare <old.json> [new.json]}"
@@ -61,6 +63,7 @@ cargo bench -q --offline -p mavfi-bench --bench replan_micro
 cargo bench -q --offline -p mavfi-bench --bench replay_micro
 cargo bench -q --offline -p mavfi-bench --bench table2_overhead
 cargo bench -q --offline -p mavfi-bench --bench batch_throughput
+cargo bench -q --offline -p mavfi-bench --bench serve_scaling
 
 echo "==> appended entries to $LOG:"
 tail -n 40 "$LOG"

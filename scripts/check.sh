@@ -29,8 +29,11 @@ cargo run --release --offline -q --example telemetry_report >/dev/null
 echo "==> golden traces replay bit-identically (retrace --verify)"
 cargo run --release --offline -q --example retrace -- --verify >/dev/null
 
-echo "==> bench log self-compare smoke (bench_compare gate)"
-./scripts/bench.sh --compare BENCH_9.json BENCH_9.json >/dev/null
+echo "==> campaign server kill/resume smoke (campaign_server --smoke)"
+cargo run --release --offline -q --example campaign_server -- --smoke >/dev/null
+
+echo "==> bench log gate: BENCH_9.json -> BENCH_10.json (bench_compare)"
+./scripts/bench.sh --compare BENCH_9.json BENCH_10.json >/dev/null
 
 echo "==> markdown relative links resolve (README.md, docs/, CHANGES.md)"
 broken=0

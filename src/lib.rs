@@ -41,6 +41,11 @@ pub mod docs {
     /// determinism contract and the golden-trace store workflow.
     #[doc = include_str!("../docs/REPLAY.md")]
     pub mod replay {}
+
+    /// `docs/SERVING.md`: the campaign service — submit/stream protocol,
+    /// checkpoint format, resume determinism contract, failure taxonomy.
+    #[doc = include_str!("../docs/SERVING.md")]
+    pub mod serving {}
 }
 
 pub mod golden;

@@ -94,3 +94,58 @@ fn services_resolve_between_components() {
     assert_eq!(client.call(5).unwrap(), 0);
     assert!(bus.has_service("mission/remaining"));
 }
+
+/// A streaming topic (shaped like the campaign server's per-job progress
+/// stream) with a slow consumer: the bounded queue drops oldest-first,
+/// counts its drops, and the latest-value cache stays current — while an
+/// unbounded subscriber on the same topic still sees everything.
+#[test]
+fn bounded_subscribers_shed_oldest_messages_under_streaming_load() {
+    let bus = Bus::new();
+    let topic = "campaign/000000000000002a/progress";
+    let slow = bus.try_subscribe_with_capacity::<u64>(topic, 4).expect("fresh topic");
+    let firehose = bus.subscribe::<u64>(topic);
+    // Same topic, wrong type: the capacity-bounded path reports the
+    // mismatch as a typed error instead of panicking.
+    assert!(bus.try_subscribe_with_capacity::<f64>(topic, 4).is_err());
+
+    let publisher = bus.advertise::<u64>(topic);
+    for chunk in 0..32u64 {
+        publisher.publish(chunk);
+    }
+
+    assert_eq!(slow.len(), 4, "queue is capped at its capacity");
+    assert_eq!(slow.dropped(), 28, "every shed message is counted");
+    assert_eq!(slow.drain(), vec![28, 29, 30, 31], "oldest messages go first");
+    assert_eq!(slow.latest(), Some(31), "latest-value cache survives the shedding");
+    assert_eq!(slow.dropped(), 28, "draining does not change the dropped count");
+    assert_eq!(firehose.len(), 32, "an unbounded subscriber loses nothing");
+}
+
+/// Interceptors — the hook MAVFI's fault injector attaches to the ROS
+/// communication layer — mutate streamed messages between publication and
+/// delivery: every subscriber sees the corrupted value, interceptors stack
+/// in registration order, and the publisher's own value is untouched.
+#[test]
+fn interceptors_corrupt_streamed_messages_in_flight() {
+    let bus = Bus::new();
+    let topic = "campaign/0000000000000007/progress";
+    let subscriber = bus.try_subscribe_with_capacity::<u64>(topic, 8).expect("fresh topic");
+
+    bus.add_interceptor::<u64, _>(topic, |value| *value |= 0x100).expect("first interceptor");
+    bus.add_interceptor::<u64, _>(topic, |value| *value += 1).expect("second interceptor");
+    assert!(
+        bus.add_interceptor::<f64, _>(topic, |_| {}).is_err(),
+        "type-mismatched interceptors are rejected, not panicked on"
+    );
+
+    let publisher = bus.advertise::<u64>(topic);
+    for chunk in 0..3u64 {
+        publisher.publish(chunk);
+    }
+    assert_eq!(
+        subscriber.drain(),
+        vec![0x101, 0x102, 0x103],
+        "interceptors apply to every message, in registration order"
+    );
+}
